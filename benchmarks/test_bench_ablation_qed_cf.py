@@ -1,0 +1,46 @@
+"""Ablation -- control-flow bugs escape EDDI-V without the QED-CF module.
+
+Design C version 3 carries only the BEQ-inversion control-flow bug.  Baseline
+EDDI-V excludes control-flow instructions from QED sequences, so it cannot
+reach the bug; adding the QED-CF module makes the same run fail.  This is the
+paper's motivation for the Enhanced EDDI-V control-flow extension.
+"""
+
+from repro.isa.arch import TINY_PROFILE
+from repro.qed import QEDMode, SymbolicQED
+
+_FOCUS_DATA = ["LDI", "INC", "ADD", "CMPI"]
+_FOCUS_CF = _FOCUS_DATA + ["BEQ"]
+
+
+def test_bench_ablation_baseline_eddiv_misses_cf_bug(benchmark):
+    def run():
+        harness = SymbolicQED(
+            "C.v3",
+            mode=QEDMode.EDDIV,
+            arch=TINY_PROFILE,
+            focus_opcodes=_FOCUS_DATA,
+        )
+        return harness.check(max_bound=7)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nAblation: baseline EDDI-V on C.v3 -> violation={result.found_violation}")
+    assert not result.found_violation
+
+
+def test_bench_ablation_qed_cf_catches_cf_bug(benchmark):
+    def run():
+        harness = SymbolicQED(
+            "C.v3",
+            mode=QEDMode.EDDIV_CF,
+            arch=TINY_PROFILE,
+            focus_opcodes=_FOCUS_CF,
+        )
+        return harness.check(max_bound=8)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\nAblation: Enhanced EDDI-V (QED-CF) on C.v3 -> "
+        f"violation={result.found_violation} in {result.counterexample_cycles} cycles"
+    )
+    assert result.found_violation

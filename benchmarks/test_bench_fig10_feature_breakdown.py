@@ -1,0 +1,24 @@
+"""Fig. 10 -- bugs detected by the individual Symbolic QED features."""
+
+from repro.eval.report import detection_breakdown
+from repro.uarch.bugs import bug_by_id
+
+
+def test_bench_fig10_feature_breakdown(benchmark, campaign_result):
+    breakdown = benchmark(detection_breakdown, campaign_result)
+    counts = breakdown["feature_breakdown_counts"]
+    percent = breakdown["feature_breakdown_percent"]
+    print("\nFig. 10 -- bugs detected by Symbolic QED feature")
+    for feature in ("eddiv", "qed_cf", "qed_mem", "single_i"):
+        print(f"  {feature:10s} {counts[feature]:2d}  ({percent[feature]:.1f}%)")
+
+    # Shape check: every campaign bug is attributed to the feature the bug
+    # library predicts (the paper's 35.7 / 28.6 / 7.1 / 28.6 split over the
+    # full library).
+    for record in campaign_result.records:
+        expected = bug_by_id(record.bug_id).primary_feature
+        assert record.attributed_feature == expected, record.bug_id
+    assert counts["eddiv"] >= 1
+    assert counts["qed_cf"] >= 1
+    assert counts["qed_mem"] >= 1
+    assert counts["single_i"] >= 1

@@ -1,0 +1,10 @@
+"""Fig. 1 -- the designs and versions analysed in the study."""
+
+from repro.eval.report import design_inventory, format_table
+
+
+def test_bench_fig1_design_inventory(benchmark):
+    rows = benchmark(design_inventory)
+    assert len(rows) == 16
+    print("\nFig. 1 -- design inventory (16 versions across Designs A, B, C)")
+    print(format_table(rows, ["version", "rom_interface", "extension", "bugs_present"]))

@@ -1,0 +1,23 @@
+"""Table 1 and Fig. 7 -- setup effort: industrial flow vs Symbolic QED."""
+
+from repro.eval.effort import EffortModel, setup_effort_table
+from repro.eval.report import format_table
+
+
+def test_bench_table1_setup_effort(benchmark):
+    rows = benchmark(setup_effort_table)
+    print("\nTable 1 -- setup effort comparison")
+    print(format_table(rows, ["technique", "initial", "subsequent"]))
+    factors = EffortModel().headline_factors()
+    assert factors["initial"] >= 8.0
+    assert factors["subsequent"] >= 40.0
+
+
+def test_bench_fig7_qed_setup_breakdown(benchmark):
+    model = EffortModel()
+    breakdown = benchmark(model.qed_setup_breakdown)
+    print("\nFig. 7 -- Symbolic QED setup effort breakdown (Design A)")
+    for activity, effort in breakdown:
+        print(f"  {activity:45s} {effort.describe()}")
+    total_weeks = sum(item.person_weeks for _, item in breakdown)
+    assert abs(total_weeks - 8.0) < 1e-9

@@ -1,0 +1,45 @@
+"""Table 3 -- counterexample length (cycles and instructions)."""
+
+from repro.eval.report import runtime_statistics
+
+
+def test_bench_table3_counterexample_length(benchmark, qed_runtime_samples):
+    qed_runs = qed_runtime_samples["qed"]
+    single_i_runs = qed_runtime_samples["single_i"]
+
+    def build_rows():
+        cycles = runtime_statistics(
+            result.counterexample_cycles for _, result in qed_runs
+        )
+        instructions = runtime_statistics(
+            result.counterexample_instructions for _, result in qed_runs
+        )
+        single_cycles = runtime_statistics(
+            result.counterexample_cycles for _, result in single_i_runs
+        )
+        single_instr = runtime_statistics(
+            result.counterexample_instructions for _, result in single_i_runs
+        )
+        return cycles, instructions, single_cycles, single_instr
+
+    cycles, instructions, single_cycles, single_instr = benchmark(build_rows)
+
+    print("\nTable 3 -- counterexample length [min, avg, max]")
+    print(
+        "  Symbolic QED (both enhancements): cycles "
+        f"[{cycles['min']:.0f}, {cycles['avg']:.1f}, {cycles['max']:.0f}]  "
+        f"instructions [{instructions['min']:.0f}, {instructions['avg']:.1f}, {instructions['max']:.0f}]"
+    )
+    print(
+        "  Single-I:                         cycles "
+        f"[{single_cycles['min']:.0f}, {single_cycles['avg']:.1f}, {single_cycles['max']:.0f}]  "
+        f"instructions [{single_instr['min']:.0f}, {single_instr['avg']:.1f}, {single_instr['max']:.0f}]"
+    )
+
+    # Shape check against the paper (cycles [5, 7.4, 11], instructions
+    # [4, 6.2, 10]; Single-I [2, 2, 2] and [1, 1, 1]): short counterexamples,
+    # ten instructions or fewer, Single-I counterexamples of one instruction.
+    assert cycles["max"] <= 11
+    assert instructions["max"] <= 10
+    assert single_instr["min"] == single_instr["max"] == 1
+    assert single_cycles["max"] <= 3

@@ -1,0 +1,46 @@
+"""Hunting a wrong-direction branch bug with the QED-CF module.
+
+Design A version 4 contains a branch unit regression: BZ samples the N flag
+instead of Z when the previous write-back targeted an upper-half register.
+Baseline EDDI-V never injects branches, so only the Enhanced EDDI-V
+control-flow configuration (the QED-CF module of Fig. 5 in the paper) can
+expose it.  The example runs both configurations and prints the decoded
+counterexample of the one that fails.
+
+Run with::
+
+    python examples/control_flow_bug_hunt.py
+"""
+
+from repro.isa.arch import TINY_PROFILE
+from repro.qed import QEDMode, SymbolicQED
+
+FOCUS = ["LDI", "ADD", "CMPI", "BZ"]
+
+
+def run(mode: QEDMode) -> None:
+    focus = [name for name in FOCUS if mode is QEDMode.EDDIV_CF or name != "BZ"]
+    harness = SymbolicQED(
+        "A.v4", mode=mode, arch=TINY_PROFILE, focus_opcodes=focus
+    )
+    result = harness.check(max_bound=8)
+    print(f"--- {mode.value}")
+    if result.found_violation:
+        print(
+            f"QED failure after {result.counterexample_instructions} instructions "
+            f"({result.runtime_seconds:.1f}s of BMC)"
+        )
+        print(result.counterexample_report())
+    else:
+        print("no failure found within the bound (control-flow bugs are out of "
+              "reach for this configuration)")
+    print()
+
+
+def main() -> None:
+    run(QEDMode.EDDIV)
+    run(QEDMode.EDDIV_CF)
+
+
+if __name__ == "__main__":
+    main()

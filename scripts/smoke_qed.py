@@ -1,0 +1,54 @@
+"""Developer smoke test for the Symbolic QED harness (not part of the suite)."""
+import sys
+import time
+
+from repro.isa.arch import TINY_PROFILE
+from repro.qed import QEDMode, SingleIChecker, SymbolicQED
+
+
+def try_qed(version, mode, max_bound=10, expect=None, **kw):
+    t0 = time.time()
+    h = SymbolicQED(version, mode=mode, arch=TINY_PROFILE, **kw)
+    res = h.check(max_bound=max_bound)
+    dt = time.time() - t0
+    print(
+        f"{version:5s} {mode.value:10s} bound<={max_bound}: "
+        f"violation={res.found_violation} cyc={res.counterexample_cycles} "
+        f"instr={res.counterexample_instructions} bmc={res.runtime_seconds:.1f}s "
+        f"total={dt:.1f}s vars={res.bmc_result.num_sat_variables} "
+        f"cls={res.bmc_result.num_sat_clauses}"
+        + (f"  [expect {expect}]" if expect is not None else ""),
+        flush=True,
+    )
+    return res
+
+
+def main():
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if which in ("all", "clean"):
+        try_qed("B.v6", QEDMode.EDDIV, max_bound=7, expect=False)
+    if which in ("all", "eddiv"):
+        try_qed("A.v3", QEDMode.EDDIV, max_bound=9, expect=True)
+    if which in ("all", "cf"):
+        try_qed("A.v4", QEDMode.EDDIV_CF, max_bound=9, expect=True)
+        try_qed("B.v6", QEDMode.EDDIV_CF, max_bound=6, expect=False)
+    if which in ("all", "mem"):
+        try_qed("A.v5", QEDMode.EDDIV_MEM, max_bound=10, expect=True,
+                tracked_registers=(0,))
+        try_qed("B.v6", QEDMode.EDDIV_MEM, max_bound=8, expect=False,
+                tracked_registers=(0,))
+    if which in ("all", "singlei"):
+        for version, expect in [("A.v6", ["SRA"]), ("A.v8", ["CMPI"]), ("B.v6", [])]:
+            t0 = time.time()
+            checker = SingleIChecker(version, arch=TINY_PROFILE)
+            results = checker.check_all()
+            bad = checker.violated_instructions(results)
+            print(
+                f"single-i {version}: violated={bad} expect={expect} "
+                f"({time.time()-t0:.1f}s for {len(results)} properties)",
+                flush=True,
+            )
+
+
+if __name__ == "__main__":
+    main()

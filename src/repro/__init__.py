@@ -1,0 +1,37 @@
+"""repro -- Symbolic QED pre-silicon verification, reproduced end-to-end.
+
+This package reproduces the system described in *"Symbolic QED Pre-silicon
+Verification for Automotive Microcontroller Cores: Industrial Case Study"*
+(Singh et al., DATE 2019).  It contains every substrate the case study relies
+on, built from scratch in Python:
+
+* :mod:`repro.sat` -- a CDCL SAT solver.
+* :mod:`repro.expr` -- bit-vector expressions, AIG, bit-blasting, CNF.
+* :mod:`repro.rtl` -- RTL modelling, elaboration and simulation.
+* :mod:`repro.bmc` -- the bounded model checking engine.
+* :mod:`repro.isa` -- the custom microcontroller ISA (52+ instructions).
+* :mod:`repro.uarch` -- the 2-stage pipelined microcontroller cores
+  (Designs A, B, C; 16 versions with seeded logic/spec bugs).
+* :mod:`repro.qed` -- the paper's contribution: the QED module, Enhanced
+  EDDI-V (control-flow and memory duplication), Single-I properties, and the
+  end-to-end Symbolic QED harness.
+* :mod:`repro.indverif` -- the industrial verification flow baselines
+  (directed simulation tests, OCS-FV, constrained-random simulation).
+* :mod:`repro.eval` -- the evaluation campaign, effort model and the
+  table/figure reproduction harness.
+
+Quick start::
+
+    from repro.uarch import build_design
+    from repro.qed import SymbolicQED
+
+    design = build_design("A", version=3)
+    qed = SymbolicQED(design)
+    result = qed.check()
+    if result.found_violation:
+        print(result.counterexample_report())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Bounded model checking engine.
+
+The engine follows the classical BMC recipe [Clarke 01] that commercial tools
+such as the Onespin engine used in the paper implement:
+
+1. unroll the design's transition relation for ``k`` time-frames,
+2. constrain frame 0 to the initial state and every frame to the
+   environmental assumptions,
+3. assert the negation of the safety property at frame ``k``,
+4. hand the resulting CNF to a SAT solver,
+5. on SAT, decode the model into a counterexample trace; on UNSAT, increase
+   ``k`` until the bound limit is reached.
+
+The public entry points are :class:`BMCProblem` / :class:`BoundedModelChecker`
+and the :class:`CounterexampleTrace` they produce.
+"""
+
+from repro.bmc.property import Assumption, SafetyProperty
+from repro.bmc.unroller import Unroller, UnrolledFrame
+from repro.bmc.trace import CounterexampleTrace
+from repro.bmc.engine import BMCProblem, BMCResult, BMCStatus, BoundedModelChecker
+
+__all__ = [
+    "Assumption",
+    "SafetyProperty",
+    "Unroller",
+    "UnrolledFrame",
+    "CounterexampleTrace",
+    "BMCProblem",
+    "BMCResult",
+    "BMCStatus",
+    "BoundedModelChecker",
+]

@@ -1,0 +1,276 @@
+"""The bounded model checking loop.
+
+:class:`BoundedModelChecker` searches for a violation of a safety property
+within a bounded number of cycles, incrementing the bound one frame at a
+time.  Each bound produces a fresh CNF (the AIG is shared across bounds, so
+only the new frame's logic is re-encoded into clauses each iteration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.bmc.property import Assumption, SafetyProperty
+from repro.bmc.trace import CounterexampleTrace, property_holds_at, replay_inputs
+from repro.bmc.unroller import Unroller
+from repro.expr.cnfgen import CNFBuilder
+from repro.rtl.design import Design
+from repro.sat.cnf import CNF
+from repro.sat.solver import CDCLSolver
+
+
+class BMCStatus(Enum):
+    """Outcome of a bounded model checking run."""
+
+    VIOLATION = "violation"
+    NO_VIOLATION_WITHIN_BOUND = "no_violation_within_bound"
+
+
+@dataclass
+class BMCResult:
+    """Result of a bounded model checking run."""
+
+    status: BMCStatus
+    property_name: str
+    bound_reached: int
+    runtime_seconds: float
+    counterexample: Optional[CounterexampleTrace] = None
+    per_bound_runtime: List[float] = field(default_factory=list)
+    num_sat_variables: int = 0
+    num_sat_clauses: int = 0
+
+    @property
+    def found_violation(self) -> bool:
+        """Whether a counterexample was found."""
+        return self.status is BMCStatus.VIOLATION
+
+    @property
+    def counterexample_length(self) -> int:
+        """Length (in cycles) of the counterexample (0 when none)."""
+        return self.counterexample.length if self.counterexample else 0
+
+
+@dataclass
+class BMCProblem:
+    """A design plus the property and assumptions to check.
+
+    ``violation_mode`` selects the per-bound encoding:
+
+    * ``"first"`` -- the property is assumed to hold on every frame before
+      the last one and must be violated exactly at the last frame; bounds are
+      explored incrementally (the textbook loop).
+    * ``"any"`` -- a single query per bound asks for a violation at *any*
+      frame up to the bound.  Combined with a ``bound_schedule`` of one entry
+      this turns a whole run into one SAT call, which is how the evaluation
+      campaign keeps the pure-Python backend within the runtimes the paper
+      reports for the commercial engine.
+
+    ``bound_schedule`` optionally replaces the default ``1..max_bound``
+    progression with an explicit list of bounds to try.
+    """
+
+    design: Design
+    prop: SafetyProperty
+    assumptions: Sequence[Assumption] = ()
+    initial_state: Optional[Dict[str, object]] = None
+    max_bound: int = 12
+    use_design_assumptions: bool = True
+    violation_mode: str = "first"
+    bound_schedule: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_bound < 1:
+            raise ValueError("max_bound must be at least 1")
+        if self.violation_mode not in ("first", "any"):
+            raise ValueError("violation_mode must be 'first' or 'any'")
+        if self.bound_schedule is not None:
+            if not self.bound_schedule:
+                raise ValueError("bound_schedule must not be empty")
+            if any(b < 1 for b in self.bound_schedule):
+                raise ValueError("bounds must be positive")
+
+    def bounds(self) -> List[int]:
+        """The sequence of bounds the engine will explore."""
+        if self.bound_schedule is not None:
+            return list(self.bound_schedule)
+        return list(range(1, self.max_bound + 1))
+
+
+class BoundedModelChecker:
+    """Incremental-bound BMC over a single safety property."""
+
+    def __init__(self, problem: BMCProblem) -> None:
+        self.problem = problem
+        self._unroller = Unroller(
+            problem.design, initial_state=problem.initial_state
+        )
+
+    # ------------------------------------------------------------------
+    def _encode_bound(self, bound: int) -> tuple[CNF, CNFBuilder, int]:
+        """Build the CNF for a violation exactly at cycle ``bound - 1``."""
+        problem = self.problem
+        self._unroller.unroll(bound)
+        cnf = CNF()
+        builder = CNFBuilder(self._unroller.aig, cnf)
+
+        # Environmental constraints at every frame up to the bound.
+        for frame_index in range(bound):
+            frame = self._unroller.frames[frame_index]
+            if problem.use_design_assumptions:
+                for literal in frame.assumption_bits.values():
+                    builder.assert_literal(literal)
+            for assumption in problem.assumptions:
+                if assumption.applies_at(frame_index):
+                    literal = self._unroller.blast_bit_at_frame(
+                        assumption.expr, frame_index
+                    )
+                    builder.assert_literal(literal)
+
+        violation_frame = bound - 1
+        if violation_frame < problem.prop.start_cycle:
+            # The property is not yet enforced; encode an unsatisfiable query
+            # so the engine simply moves to the next bound.
+            builder.cnf.add_clause([])
+            return cnf, builder, violation_frame
+
+        if problem.violation_mode == "first":
+            # Property must hold on all earlier frames (we only look for the
+            # first violation, which also keeps counterexamples minimal) ...
+            for frame_index in range(problem.prop.start_cycle, bound - 1):
+                literal = self._unroller.blast_bit_at_frame(
+                    problem.prop.expr, frame_index
+                )
+                builder.assert_literal(literal)
+            # ... and be violated at the last frame.
+            literal = self._unroller.blast_bit_at_frame(
+                problem.prop.expr, violation_frame
+            )
+            builder.assert_literal(self._unroller.aig.negate(literal))
+        else:
+            # A violation at any frame up to the bound.
+            aig = self._unroller.aig
+            violated_somewhere = aig.or_many(
+                aig.negate(
+                    self._unroller.blast_bit_at_frame(
+                        problem.prop.expr, frame_index
+                    )
+                )
+                for frame_index in range(problem.prop.start_cycle, bound)
+            )
+            builder.assert_literal(violated_somewhere)
+        return cnf, builder, violation_frame
+
+    def _extract_inputs(
+        self, builder: CNFBuilder, model: List[bool], bound: int
+    ) -> List[Dict[str, int]]:
+        """Read back the input values the solver chose for each frame."""
+        inputs: List[Dict[str, int]] = []
+        for frame_index in range(bound):
+            frame = self._unroller.frames[frame_index]
+            frame_inputs: Dict[str, int] = {}
+            for name, bits in frame.inputs.items():
+                value = 0
+                for bit_index, literal in enumerate(bits):
+                    node = self._unroller.aig.lit_node(literal)
+                    cnf_var = builder._node_var.get(node)
+                    if cnf_var is None:
+                        bit_value = False  # unconstrained input bit
+                    else:
+                        bit_value = model[cnf_var]
+                    if self._unroller.aig.lit_inverted(literal):
+                        bit_value = not bit_value
+                    if bit_value:
+                        value |= 1 << bit_index
+                frame_inputs[name] = value
+            inputs.append(frame_inputs)
+        return inputs
+
+    # ------------------------------------------------------------------
+    def run(self) -> BMCResult:
+        """Execute the incremental-bound search."""
+        problem = self.problem
+        start_time = time.perf_counter()
+        per_bound: List[float] = []
+        last_vars = 0
+        last_clauses = 0
+
+        for bound in problem.bounds():
+            bound_start = time.perf_counter()
+            cnf, builder, violation_frame = self._encode_bound(bound)
+            last_vars = cnf.num_vars
+            last_clauses = cnf.num_clauses
+            solver = CDCLSolver(cnf)
+            result = solver.solve()
+            per_bound.append(time.perf_counter() - bound_start)
+
+            if result.satisfiable:
+                assert result.model is not None
+                input_sequence = self._extract_inputs(builder, result.model, bound)
+                trace = replay_inputs(
+                    problem.design,
+                    input_sequence,
+                    problem.prop.expr,
+                    problem.prop.name,
+                )
+                # Locate the first violating cycle on the replayed trace and
+                # truncate there, so counterexample lengths are minimal for
+                # the sequence the solver chose.
+                first_violation = None
+                for cycle in range(problem.prop.start_cycle, trace.length):
+                    if not property_holds_at(
+                        problem.design, trace, problem.prop.expr, cycle
+                    ):
+                        first_violation = cycle
+                        break
+                if first_violation is None:
+                    raise AssertionError(
+                        "BMC internal error: SAT model does not reproduce a "
+                        f"violation of {problem.prop.name!r} within the bound"
+                    )
+                if first_violation + 1 < trace.length:
+                    trace.length = first_violation + 1
+                    trace.inputs = trace.inputs[: trace.length]
+                    trace.states = trace.states[: trace.length]
+                    trace.outputs = trace.outputs[: trace.length]
+                return BMCResult(
+                    status=BMCStatus.VIOLATION,
+                    property_name=problem.prop.name,
+                    bound_reached=bound,
+                    runtime_seconds=time.perf_counter() - start_time,
+                    counterexample=trace,
+                    per_bound_runtime=per_bound,
+                    num_sat_variables=last_vars,
+                    num_sat_clauses=last_clauses,
+                )
+
+        return BMCResult(
+            status=BMCStatus.NO_VIOLATION_WITHIN_BOUND,
+            property_name=problem.prop.name,
+            bound_reached=problem.bounds()[-1],
+            runtime_seconds=time.perf_counter() - start_time,
+            per_bound_runtime=per_bound,
+            num_sat_variables=last_vars,
+            num_sat_clauses=last_clauses,
+        )
+
+
+def check_property(
+    design: Design,
+    prop: SafetyProperty,
+    assumptions: Sequence[Assumption] = (),
+    *,
+    max_bound: int = 12,
+    initial_state: Optional[Dict[str, object]] = None,
+) -> BMCResult:
+    """Convenience wrapper: build a problem, run it, return the result."""
+    problem = BMCProblem(
+        design=design,
+        prop=prop,
+        assumptions=assumptions,
+        initial_state=initial_state,
+        max_bound=max_bound,
+    )
+    return BoundedModelChecker(problem).run()

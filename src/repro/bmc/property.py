@@ -1,0 +1,81 @@
+"""Safety properties and environmental assumptions for BMC.
+
+Both are 1-bit expressions over the design's signal namespace.  The namespace
+contains:
+
+* primary-input names,
+* state-element names (current-cycle values), and
+* output names (the unroller substitutes the output's defining expression).
+
+A :class:`SafetyProperty` is checked for violation -- the BMC engine searches
+for a reachable cycle where the expression evaluates to 0.  An
+:class:`Assumption` constrains every cycle of every trace the engine
+considers; this is how Symbolic QED restricts the instruction stream to valid
+QED sequences without writing design-specific properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.expr.bitvec import BV, ExprError
+
+
+def _require_bit(expr: BV, what: str) -> None:
+    if expr.width != 1:
+        raise ExprError(f"{what} must be a 1-bit expression, got width {expr.width}")
+
+
+@dataclass(frozen=True)
+class SafetyProperty:
+    """A named invariant that must hold at every reachable cycle.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and counterexample summaries.
+    expr:
+        The 1-bit expression that must evaluate to 1 in every cycle.
+    description:
+        Optional human-readable explanation (shown in failure reports).
+    start_cycle:
+        First cycle (inclusive) at which the property is enforced.  Some
+        checks -- e.g. the QED consistency check -- are only meaningful once
+        ``qed_ready`` can possibly be asserted; leaving the earlier cycles
+        unconstrained keeps the CNF smaller.
+    """
+
+    name: str
+    expr: BV
+    description: str = ""
+    start_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        _require_bit(self.expr, f"property {self.name!r}")
+        if self.start_cycle < 0:
+            raise ValueError("start_cycle must be non-negative")
+
+
+@dataclass(frozen=True)
+class Assumption:
+    """A named environmental constraint applied at every cycle.
+
+    ``only_cycle`` restricts the assumption to a single time frame, which is
+    how Single-Instruction properties pin the instruction under test at cycle
+    0 while leaving later cycles unconstrained.
+    """
+
+    name: str
+    expr: BV
+    description: str = ""
+    only_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require_bit(self.expr, f"assumption {self.name!r}")
+        if self.only_cycle is not None and self.only_cycle < 0:
+            raise ValueError("only_cycle must be non-negative")
+
+    def applies_at(self, cycle: int) -> bool:
+        """Return whether the assumption constrains the given cycle."""
+        return self.only_cycle is None or self.only_cycle == cycle

@@ -1,0 +1,46 @@
+"""Evaluation: effort model, verification campaign and table/figure reports.
+
+This package regenerates the paper's evaluation artefacts:
+
+* Table 1 / Fig. 7 -- setup-effort comparison (:mod:`repro.eval.effort`),
+* Table 2 / Table 3 -- bug-detection runtimes and counterexample lengths,
+* Fig. 8 / Fig. 9 / Fig. 10 -- detection breakdowns across Symbolic QED and
+  the industrial flow (:mod:`repro.eval.campaign`),
+* Fig. 1 -- the design/version inventory (:mod:`repro.eval.report`).
+"""
+
+from repro.eval.effort import (
+    EffortModel,
+    PersonTime,
+    SETUP_EFFORT,
+    setup_effort_table,
+)
+from repro.eval.campaign import (
+    BugDetectionRecord,
+    CampaignConfig,
+    CampaignResult,
+    FOCUS_SETS,
+    run_campaign,
+)
+from repro.eval.report import (
+    design_inventory,
+    detection_breakdown,
+    format_table,
+    runtime_statistics,
+)
+
+__all__ = [
+    "EffortModel",
+    "PersonTime",
+    "SETUP_EFFORT",
+    "setup_effort_table",
+    "BugDetectionRecord",
+    "CampaignConfig",
+    "CampaignResult",
+    "FOCUS_SETS",
+    "run_campaign",
+    "design_inventory",
+    "detection_breakdown",
+    "format_table",
+    "runtime_statistics",
+]

@@ -1,0 +1,249 @@
+"""The verification campaign over the sixteen design versions.
+
+For every seeded bug the campaign runs the Symbolic QED features (baseline
+EDDI-V, the QED-CF enhancement, duplication using memory, Single-I) and the
+industrial-flow techniques (DST, OCS-FV, CRS) and records which of them
+detect it.  Figs. 8, 9 and 10 and Tables 2 and 3 are computed from these
+records.
+
+Because the SAT backend here is pure Python, the default campaign runs each
+bug against its buggy version with a bug-specific *focus set* of opcodes (an
+environment constraint on the stimulus, see
+:func:`repro.qed.qed_module.build_qed_module`) and a bound just large enough
+for the counterexample.  ``CampaignConfig(exhaustive=True)`` removes the
+focus sets and runs every feature on every version -- the faithful but slow
+configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.arch import ArchParams, TINY_PROFILE
+from repro.indverif.crs import CRSConfig, ConstrainedRandomSim
+from repro.indverif.dst import default_directed_suite
+from repro.indverif.ocsfv import OCSFVChecker
+from repro.qed.eddiv import QEDMode
+from repro.qed.harness import SymbolicQED
+from repro.qed.single_i import SingleIChecker
+from repro.uarch.bugs import BUGS, Bug, bug_by_id
+from repro.uarch.versions import ALL_VERSIONS, DesignVersion
+
+#: Per-bug focus sets and bounds: the instructions the BMC stimulus is allowed
+#: to use when hunting that bug, plus the unrolling depth.  These model the
+#: per-block runs a verification engineer would launch; they never weaken the
+#: checked property.
+FOCUS_SETS: Dict[str, Dict[str, object]] = {
+    "wrport_collision": {
+        "mode": QEDMode.EDDIV,
+        "opcodes": ["LDI", "MOV", "INC", "ADD"],
+        "bound": 8,
+    },
+    "alu_after_load": {
+        "mode": QEDMode.EDDIV,
+        "opcodes": ["LDI", "ADD", "XOR", "LDA", "STA"],
+        "bound": 8,
+    },
+    "consecutive_sub": {
+        "mode": QEDMode.EDDIV,
+        "opcodes": ["LDI", "SUB", "INC"],
+        "bound": 8,
+    },
+    "st_ld_stale": {
+        "mode": QEDMode.EDDIV,
+        "opcodes": ["LDI", "LDA", "STA", "MOV"],
+        "bound": 8,
+    },
+    "inplace_after_store": {
+        "mode": QEDMode.EDDIV,
+        "opcodes": ["LDI", "INC", "STA", "MOV"],
+        "bound": 8,
+    },
+    "bz_flag_misread": {
+        "mode": QEDMode.EDDIV_CF,
+        "opcodes": ["LDI", "ADD", "CMPI", "BZ"],
+        "bound": 8,
+    },
+    "bnz_carry_confusion": {
+        "mode": QEDMode.EDDIV_CF,
+        "opcodes": ["LDI", "ADD", "CMPI", "BNZ"],
+        "bound": 8,
+    },
+    "jr_target_offby1": {
+        "mode": QEDMode.EDDIV_CF,
+        "opcodes": ["LDI", "INC", "ADD", "CMPI", "JR"],
+        "bound": 8,
+    },
+    "beq_high_inverted": {
+        "mode": QEDMode.EDDIV_CF,
+        "opcodes": ["LDI", "INC", "ADD", "CMPI", "BEQ"],
+        "bound": 8,
+    },
+    "ldil_after_load": {
+        "mode": QEDMode.EDDIV_MEM,
+        "opcodes": None,
+        "bound": 9,
+    },
+    "sra_zero_fill": {"mode": "single_i", "opcodes": ["SRA"], "bound": 2},
+    "cmpi_carry_spec": {"mode": "single_i", "opcodes": ["CMPI"], "bound": 2},
+    "ror_direction": {"mode": "single_i", "opcodes": ["ROR"], "bound": 2},
+    "satadd_clamp": {"mode": "single_i", "opcodes": ["SATADD"], "bound": 2},
+}
+
+#: Priority order used to attribute a bug to the Symbolic QED feature that
+#: detects it (Fig. 10): baseline first, then the enhancements, then Single-I.
+FEATURE_PRIORITY: Tuple[str, ...] = ("eddiv", "qed_cf", "qed_mem", "single_i")
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of a campaign run."""
+
+    arch: ArchParams = TINY_PROFILE
+    bug_ids: Optional[Sequence[str]] = None
+    run_industrial_flow: bool = True
+    run_directed_tests: bool = True
+    crs_config: CRSConfig = field(default_factory=CRSConfig)
+    exhaustive: bool = False
+    extra_bound: int = 0
+
+
+@dataclass
+class BugDetectionRecord:
+    """Everything the campaign measured about one bug."""
+
+    bug_id: str
+    version_name: str
+    detected_by: Dict[str, bool] = field(default_factory=dict)
+    qed_runtime_seconds: float = 0.0
+    qed_counterexample_cycles: int = 0
+    qed_counterexample_instructions: int = 0
+    single_i_runtime_seconds: float = 0.0
+    crs_detected: bool = False
+    ocsfv_detected: bool = False
+    dst_detected: bool = False
+
+    @property
+    def detected_by_symbolic_qed(self) -> bool:
+        """Whether any Symbolic QED feature detected the bug."""
+        return any(self.detected_by.get(f, False) for f in FEATURE_PRIORITY)
+
+    @property
+    def attributed_feature(self) -> Optional[str]:
+        """The Fig. 10 attribution (highest-priority detecting feature)."""
+        for feature in FEATURE_PRIORITY:
+            if self.detected_by.get(feature, False):
+                return feature
+        return None
+
+    @property
+    def detected_by_industrial_flow(self) -> bool:
+        """Whether DST, OCS-FV or CRS detected the bug."""
+        return self.dst_detected or self.ocsfv_detected or self.crs_detected
+
+
+@dataclass
+class CampaignResult:
+    """All detection records of one campaign run."""
+
+    records: List[BugDetectionRecord] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+    def record_for(self, bug_id: str) -> BugDetectionRecord:
+        """Look up the record of one bug."""
+        for record in self.records:
+            if record.bug_id == bug_id:
+                return record
+        raise KeyError(f"no record for bug {bug_id!r}")
+
+
+def _version_with_bug(bug_id: str) -> DesignVersion:
+    """The earliest design version that contains *bug_id*."""
+    for version in ALL_VERSIONS:
+        if bug_id in version.bugs:
+            return version
+    raise KeyError(f"bug {bug_id!r} is not present in any version")
+
+
+def _run_qed_feature(
+    bug: Bug,
+    version: DesignVersion,
+    config: CampaignConfig,
+    record: BugDetectionRecord,
+) -> None:
+    plan = FOCUS_SETS[bug.bug_id]
+    mode = plan["mode"]
+    bound = int(plan["bound"]) + config.extra_bound
+    opcodes = None if config.exhaustive else plan["opcodes"]
+
+    if mode == "single_i":
+        checker = SingleIChecker(version, arch=config.arch)
+        start = time.perf_counter()
+        results = checker.check_all(
+            instructions=None if config.exhaustive else list(plan["opcodes"])
+        )
+        record.single_i_runtime_seconds = time.perf_counter() - start
+        record.detected_by["single_i"] = any(r.violated for r in results)
+        return
+
+    harness = SymbolicQED(
+        version,
+        mode=mode,
+        arch=config.arch,
+        focus_opcodes=opcodes if mode is not QEDMode.EDDIV_MEM else None,
+        tracked_registers=(0,),
+    )
+    result = harness.check(max_bound=bound)
+    feature = {
+        QEDMode.EDDIV: "eddiv",
+        QEDMode.EDDIV_CF: "qed_cf",
+        QEDMode.EDDIV_MEM: "qed_mem",
+    }[mode]
+    record.detected_by[feature] = result.found_violation
+    record.qed_runtime_seconds = result.runtime_seconds
+    record.qed_counterexample_cycles = result.counterexample_cycles
+    record.qed_counterexample_instructions = result.counterexample_instructions
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run the campaign and return the per-bug detection records."""
+    config = config or CampaignConfig()
+    selected_bugs = (
+        [bug_by_id(b) for b in config.bug_ids]
+        if config.bug_ids is not None
+        else list(BUGS)
+    )
+    campaign = CampaignResult()
+    start = time.perf_counter()
+
+    for bug in selected_bugs:
+        version = _version_with_bug(bug.bug_id)
+        record = BugDetectionRecord(bug_id=bug.bug_id, version_name=version.name)
+
+        _run_qed_feature(bug, version, config, record)
+
+        if config.run_industrial_flow:
+            crs = ConstrainedRandomSim(
+                version, arch=config.arch, config=config.crs_config
+            )
+            record.crs_detected = crs.run().detected_bug
+            ocsfv = OCSFVChecker(version, arch=config.arch)
+            focus = FOCUS_SETS[bug.bug_id]["opcodes"]
+            record.ocsfv_detected = ocsfv.check_all(
+                instructions=None
+                if config.exhaustive or focus is None
+                else list(focus)
+            ).detected_bug
+        if config.run_directed_tests:
+            suite = default_directed_suite(config.arch)
+            results = suite.run_all(
+                version, with_extension=version.with_extension
+            )
+            record.dst_detected = suite.detected_bug(results)
+
+        campaign.records.append(record)
+
+    campaign.wall_clock_seconds = time.perf_counter() - start
+    return campaign

@@ -1,0 +1,102 @@
+"""Table and figure formatting for the reproduction reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.eval.campaign import CampaignResult, FEATURE_PRIORITY
+from repro.uarch.bugs import bug_by_id
+from repro.uarch.versions import ALL_VERSIONS
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render dict rows as a fixed-width text table."""
+    header = list(columns)
+    rendered = [header] + [
+        [str(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(line[index]) for line in rendered) for index in range(len(header))
+    ]
+    lines = []
+    for line_index, line in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+        if line_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def design_inventory() -> List[Dict[str, object]]:
+    """Fig. 1: the design families and versions analysed in the study."""
+    rows: List[Dict[str, object]] = []
+    for version in ALL_VERSIONS:
+        rows.append(
+            {
+                "version": version.name,
+                "rom_interface": version.rom_interface,
+                "extension": "SATADD" if version.with_extension else "-",
+                "bugs_present": ", ".join(sorted(version.bugs)) or "-",
+                "change": version.change_note,
+            }
+        )
+    return rows
+
+
+def detection_breakdown(campaign: CampaignResult) -> Dict[str, object]:
+    """Figs. 8, 9 and 10 computed from a campaign run."""
+    records = campaign.records
+    total = len(records)
+    qed_detected = [r for r in records if r.detected_by_symbolic_qed]
+    industrial_detected = [r for r in records if r.detected_by_industrial_flow]
+    crs_detected = [r for r in records if r.crs_detected]
+    ocsfv_detected = [r for r in records if r.ocsfv_detected]
+    dst_detected = [r for r in records if r.dst_detected]
+
+    feature_counts: Dict[str, int] = {feature: 0 for feature in FEATURE_PRIORITY}
+    for record in qed_detected:
+        feature = record.attributed_feature
+        if feature is not None:
+            feature_counts[feature] += 1
+
+    qed_only = [
+        r.bug_id for r in records
+        if r.detected_by_symbolic_qed and not r.detected_by_industrial_flow
+    ]
+    industrial_total = len(industrial_detected)
+    return {
+        "total_bugs": total,
+        "symbolic_qed_detected": len(qed_detected),
+        "industrial_flow_detected": industrial_total,
+        "crs_detected": len(crs_detected),
+        "ocsfv_detected": len(ocsfv_detected),
+        "dst_detected": len(dst_detected),
+        "qed_vs_industrial_percent": (
+            100.0 * len(qed_detected) / industrial_total if industrial_total else 0.0
+        ),
+        "qed_unique_bugs": qed_only,
+        "qed_unique_percent": (
+            100.0 * len(qed_only) / industrial_total if industrial_total else 0.0
+        ),
+        "feature_breakdown_counts": feature_counts,
+        "feature_breakdown_percent": {
+            feature: (100.0 * count / total if total else 0.0)
+            for feature, count in feature_counts.items()
+        },
+        "spec_bugs": [
+            r.bug_id for r in records if bug_by_id(r.bug_id).kind == "spec"
+        ],
+    }
+
+
+def runtime_statistics(values: Iterable[float]) -> Optional[Dict[str, float]]:
+    """[min, avg, max] statistics in the format of Tables 2 and 3."""
+    data = [v for v in values]
+    if not data:
+        return None
+    return {
+        "min": min(data),
+        "avg": sum(data) / len(data),
+        "max": max(data),
+    }

@@ -1,0 +1,55 @@
+"""Word-level symbolic expression layer.
+
+This package is the "front end" of the bounded model checker: RTL designs
+written with :mod:`repro.rtl` elaborate into expressions over bit-vectors, and
+the BMC engine in :mod:`repro.bmc` turns unrolled expressions into CNF through
+this package.
+
+Modules
+-------
+* :mod:`repro.expr.bitvec` -- immutable bit-vector expression nodes with
+  operator overloading and width checking.
+* :mod:`repro.expr.eval` -- concrete (integer) evaluation of expressions.
+* :mod:`repro.expr.aig` -- And-Inverter Graph with structural hashing and
+  constant folding.
+* :mod:`repro.expr.bitblast` -- expression to AIG translation.
+* :mod:`repro.expr.cnfgen` -- Tseitin conversion of AIG cones into CNF.
+"""
+
+from repro.expr.bitvec import (
+    BV,
+    BVConst,
+    BVVar,
+    ExprError,
+    concat,
+    cond,
+    mux,
+    reduce_and,
+    reduce_or,
+    sign_extend,
+    zero_extend,
+)
+from repro.expr.eval import evaluate
+from repro.expr.aig import AIG, AIG_FALSE, AIG_TRUE
+from repro.expr.bitblast import BitBlaster
+from repro.expr.cnfgen import CNFBuilder
+
+__all__ = [
+    "BV",
+    "BVConst",
+    "BVVar",
+    "ExprError",
+    "concat",
+    "cond",
+    "mux",
+    "reduce_and",
+    "reduce_or",
+    "sign_extend",
+    "zero_extend",
+    "evaluate",
+    "AIG",
+    "AIG_TRUE",
+    "AIG_FALSE",
+    "BitBlaster",
+    "CNFBuilder",
+]

@@ -1,0 +1,219 @@
+"""And-Inverter Graph (AIG) with structural hashing and constant folding.
+
+The AIG is the bit-level intermediate representation between the word-level
+expressions of :mod:`repro.expr.bitvec` and the CNF handed to the SAT solver.
+Keeping this layer explicit gives the bounded model checker two cheap but
+important optimisations:
+
+* **constant folding** -- the QED-consistent start state of Symbolic QED fixes
+  all registers and memories to zero, so the first time-frames of an unrolled
+  design collapse to constants;
+* **structural hashing** -- the original and duplicate halves of an EDDI-V
+  transformed design share most of their logic cone, which hashing detects
+  and shares.
+
+Literals are encoded as ``2*node + sign`` where ``sign=1`` means inverted.
+Node 0 is the constant false, hence literal 0 is ``False`` and literal 1 is
+``True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+AIG_FALSE = 0
+AIG_TRUE = 1
+
+
+class AIG:
+    """A mutable And-Inverter Graph."""
+
+    def __init__(self) -> None:
+        # Node storage: for each node index >= 1, the pair of child literals.
+        # Node 0 is the constant-false node and has no children.
+        self._nodes: List[Tuple[int, int]] = [(0, 0)]
+        self._is_input: List[bool] = [False]
+        self._input_names: Dict[int, str] = {}
+        self._strash: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Literal helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def lit_node(literal: int) -> int:
+        """Return the node index of *literal*."""
+        return literal >> 1
+
+    @staticmethod
+    def lit_inverted(literal: int) -> bool:
+        """Return whether *literal* is inverted."""
+        return bool(literal & 1)
+
+    @staticmethod
+    def negate(literal: int) -> int:
+        """Return the complement of *literal*."""
+        return literal ^ 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes including the constant node."""
+        return len(self._nodes)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs created so far."""
+        return sum(1 for flag in self._is_input if flag)
+
+    def add_input(self, name: str = "") -> int:
+        """Create a primary input and return its (positive) literal."""
+        index = len(self._nodes)
+        self._nodes.append((0, 0))
+        self._is_input.append(True)
+        if name:
+            self._input_names[index] = name
+        return 2 * index
+
+    def input_name(self, node: int) -> str:
+        """Return the registered name of input *node* (empty if unnamed)."""
+        return self._input_names.get(node, "")
+
+    def is_input(self, node: int) -> bool:
+        """Return whether *node* is a primary input."""
+        return self._is_input[node]
+
+    def node_children(self, node: int) -> Tuple[int, int]:
+        """Return the two child literals of AND node *node*."""
+        return self._nodes[node]
+
+    def and_gate(self, a: int, b: int) -> int:
+        """Return a literal for ``a AND b`` with folding and hashing."""
+        # Constant folding.
+        if a == AIG_FALSE or b == AIG_FALSE:
+            return AIG_FALSE
+        if a == AIG_TRUE:
+            return b
+        if b == AIG_TRUE:
+            return a
+        if a == b:
+            return a
+        if a == self.negate(b):
+            return AIG_FALSE
+        # Canonical ordering for hashing.
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return 2 * existing
+        index = len(self._nodes)
+        self._nodes.append(key)
+        self._is_input.append(False)
+        self._strash[key] = index
+        return 2 * index
+
+    def or_gate(self, a: int, b: int) -> int:
+        """Return a literal for ``a OR b``."""
+        return self.negate(self.and_gate(self.negate(a), self.negate(b)))
+
+    def xor_gate(self, a: int, b: int) -> int:
+        """Return a literal for ``a XOR b``."""
+        return self.or_gate(
+            self.and_gate(a, self.negate(b)), self.and_gate(self.negate(a), b)
+        )
+
+    def mux_gate(self, select: int, if_true: int, if_false: int) -> int:
+        """Return a literal for ``select ? if_true : if_false``."""
+        if select == AIG_TRUE:
+            return if_true
+        if select == AIG_FALSE:
+            return if_false
+        if if_true == if_false:
+            return if_true
+        return self.or_gate(
+            self.and_gate(select, if_true),
+            self.and_gate(self.negate(select), if_false),
+        )
+
+    def and_many(self, literals: Iterable[int]) -> int:
+        """AND an arbitrary collection of literals (TRUE for empty input)."""
+        result = AIG_TRUE
+        for literal in literals:
+            result = self.and_gate(result, literal)
+        return result
+
+    def or_many(self, literals: Iterable[int]) -> int:
+        """OR an arbitrary collection of literals (FALSE for empty input)."""
+        result = AIG_FALSE
+        for literal in literals:
+            result = self.or_gate(result, literal)
+        return result
+
+    # ------------------------------------------------------------------
+    # Adders / comparators on bit lists (LSB first)
+    # ------------------------------------------------------------------
+    def full_adder(self, a: int, b: int, carry_in: int) -> Tuple[int, int]:
+        """Return ``(sum, carry_out)`` of a full adder."""
+        partial = self.xor_gate(a, b)
+        total = self.xor_gate(partial, carry_in)
+        carry_out = self.or_gate(
+            self.and_gate(a, b), self.and_gate(partial, carry_in)
+        )
+        return total, carry_out
+
+    def ripple_add(
+        self, a_bits: List[int], b_bits: List[int], carry_in: int = AIG_FALSE
+    ) -> Tuple[List[int], int]:
+        """Ripple-carry addition of equal-width bit lists (LSB first)."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("ripple_add operands must have equal width")
+        result: List[int] = []
+        carry = carry_in
+        for a_bit, b_bit in zip(a_bits, b_bits):
+            total, carry = self.full_adder(a_bit, b_bit, carry)
+            result.append(total)
+        return result, carry
+
+    def equal(self, a_bits: List[int], b_bits: List[int]) -> int:
+        """Return a literal that is true iff the bit lists are equal."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("equal operands must have equal width")
+        return self.and_many(
+            self.negate(self.xor_gate(a, b)) for a, b in zip(a_bits, b_bits)
+        )
+
+    def unsigned_less_than(self, a_bits: List[int], b_bits: List[int]) -> int:
+        """Return a literal that is true iff ``a < b`` (unsigned)."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("comparison operands must have equal width")
+        # a < b  iff  the carry out of (a + ~b + 1) is 0, i.e. borrow occurs.
+        not_b = [self.negate(bit) for bit in b_bits]
+        _, carry = self.ripple_add(a_bits, not_b, AIG_TRUE)
+        return self.negate(carry)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def cone_size(self, roots: Iterable[int]) -> int:
+        """Return the number of AND nodes in the cone of *roots*."""
+        seen = set()
+        stack = [self.lit_node(literal) for literal in roots]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node in seen or node == 0 or self._is_input[node]:
+                continue
+            seen.add(node)
+            count += 1
+            left, right = self._nodes[node]
+            stack.append(self.lit_node(left))
+            stack.append(self.lit_node(right))
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"AIG(nodes={self.num_nodes}, inputs={self.num_inputs}, "
+            f"ands={self.num_nodes - 1 - self.num_inputs})"
+        )

@@ -1,0 +1,121 @@
+"""Tseitin conversion of AIG cones into CNF.
+
+Only the cone of influence of the requested literals is translated; constant
+and input nodes never allocate auxiliary variables unless referenced.  The
+builder keeps the node-to-variable map so several queries (e.g. successive BMC
+bounds) can share one CNF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.expr.aig import AIG, AIG_FALSE, AIG_TRUE
+from repro.sat.cnf import CNF
+
+
+class CNFBuilder:
+    """Incrementally translate AIG literals into CNF literals."""
+
+    def __init__(self, aig: AIG, cnf: Optional[CNF] = None) -> None:
+        self.aig = aig
+        self.cnf = cnf if cnf is not None else CNF()
+        # Map AIG node index -> CNF variable.
+        self._node_var: Dict[int, int] = {}
+        # A variable constrained to be true, used to express constants.
+        self._true_var: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _constant_true_var(self) -> int:
+        if self._true_var is None:
+            self._true_var = self.cnf.new_var()
+            self.cnf.add_unit(self._true_var)
+        return self._true_var
+
+    def node_variable(self, node: int) -> int:
+        """Return (allocating if needed) the CNF variable for AIG node *node*."""
+        if node == 0:
+            # Constant-false node: represented by the negation of the true var.
+            return self._constant_true_var()
+        existing = self._node_var.get(node)
+        if existing is not None:
+            return existing
+        variable = self.cnf.new_var()
+        self._node_var[node] = variable
+        if not self.aig.is_input(node):
+            self._encode_and(node, variable)
+        return variable
+
+    def literal(self, aig_literal: int) -> int:
+        """Return the CNF literal corresponding to *aig_literal*."""
+        if aig_literal == AIG_TRUE:
+            return self._constant_true_var()
+        if aig_literal == AIG_FALSE:
+            return -self._constant_true_var()
+        node = self.aig.lit_node(aig_literal)
+        variable = self.node_variable(node)
+        return -variable if self.aig.lit_inverted(aig_literal) else variable
+
+    def literals(self, aig_literals: Iterable[int]) -> List[int]:
+        """Translate several AIG literals at once."""
+        return [self.literal(lit) for lit in aig_literals]
+
+    # ------------------------------------------------------------------
+    def _encode_and(self, node: int, variable: int) -> None:
+        """Add the Tseitin clauses for AND node *node* bound to *variable*."""
+        left_lit, right_lit = self.aig.node_children(node)
+        # The children are encoded recursively; iterative translation avoids
+        # recursion limits on deep cones.
+        stack = [node]
+        pending: List[int] = []
+        while stack:
+            current = stack.pop()
+            if current == 0 or self.aig.is_input(current):
+                continue
+            left, right = self.aig.node_children(current)
+            for child_lit in (left, right):
+                child_node = self.aig.lit_node(child_lit)
+                if child_node not in self._node_var and child_node != 0 and not self.aig.is_input(child_node):
+                    # Allocate now, encode later (post-order via pending).
+                    self._node_var[child_node] = self.cnf.new_var()
+                    stack.append(child_node)
+            pending.append(current)
+        # Encode in reverse discovery order so children exist before parents;
+        # the clause set is order-independent, this is just bookkeeping.
+        for current in pending:
+            if current == node:
+                out_var = variable
+            else:
+                out_var = self._node_var[current]
+            left, right = self.aig.node_children(current)
+            a = self._child_literal(left)
+            b = self._child_literal(right)
+            # out <-> a & b
+            self.cnf.add_clause([-out_var, a])
+            self.cnf.add_clause([-out_var, b])
+            self.cnf.add_clause([out_var, -a, -b])
+
+    def _child_literal(self, aig_literal: int) -> int:
+        node = self.aig.lit_node(aig_literal)
+        if node == 0:
+            base = self._constant_true_var()
+            variable = -base  # constant false
+        else:
+            if node not in self._node_var:
+                variable = self.cnf.new_var()
+                self._node_var[node] = variable
+                if not self.aig.is_input(node):
+                    # Should not happen: parents are encoded after children.
+                    self._encode_and(node, variable)
+            variable = self._node_var[node]
+        return -variable if self.aig.lit_inverted(aig_literal) else variable
+
+    # ------------------------------------------------------------------
+    def assert_literal(self, aig_literal: int) -> None:
+        """Add a unit clause asserting *aig_literal* is true."""
+        self.cnf.add_unit(self.literal(aig_literal))
+
+    def assert_all(self, aig_literals: Iterable[int]) -> None:
+        """Assert every literal in *aig_literals*."""
+        for literal in aig_literals:
+            self.assert_literal(literal)

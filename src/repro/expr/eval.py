@@ -1,0 +1,126 @@
+"""Concrete evaluation of bit-vector expressions.
+
+Used by the RTL simulator (:mod:`repro.rtl.simulator`) and by tests that
+cross-check the bit-blaster against integer semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.expr.bitvec import (
+    BV,
+    BVAdd,
+    BVAnd,
+    BVAshr,
+    BVConcat,
+    BVConst,
+    BVEq,
+    BVExtract,
+    BVIte,
+    BVLshr,
+    BVMul,
+    BVNeg,
+    BVNot,
+    BVOr,
+    BVReduceAnd,
+    BVReduceOr,
+    BVShl,
+    BVSlt,
+    BVSub,
+    BVUlt,
+    BVVar,
+    BVXor,
+    ExprError,
+)
+
+
+def _to_signed(value: int, width: int) -> int:
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def evaluate(expr: BV, env: Mapping[str, int], _cache: Dict[int, int] | None = None) -> int:
+    """Evaluate *expr* with variable values from *env*.
+
+    Variable values are masked to the variable width.  Unknown variables raise
+    :class:`~repro.expr.bitvec.ExprError`.
+    """
+    cache: Dict[int, int] = {} if _cache is None else _cache
+
+    def walk(node: BV) -> int:
+        key = id(node)
+        if key in cache:
+            return cache[key]
+        result = _evaluate_node(node, env, walk)
+        cache[key] = result
+        return result
+
+    return walk(expr)
+
+
+def _evaluate_node(node: BV, env: Mapping[str, int], walk) -> int:
+    mask = node.mask
+    if isinstance(node, BVConst):
+        return node.value
+    if isinstance(node, BVVar):
+        if node.name not in env:
+            raise ExprError(f"no value bound for variable {node.name!r}")
+        return env[node.name] & mask
+    if isinstance(node, BVNot):
+        return (~walk(node.children[0])) & mask
+    if isinstance(node, BVNeg):
+        return (-walk(node.children[0])) & mask
+    if isinstance(node, BVAnd):
+        return walk(node.children[0]) & walk(node.children[1])
+    if isinstance(node, BVOr):
+        return walk(node.children[0]) | walk(node.children[1])
+    if isinstance(node, BVXor):
+        return walk(node.children[0]) ^ walk(node.children[1])
+    if isinstance(node, BVAdd):
+        return (walk(node.children[0]) + walk(node.children[1])) & mask
+    if isinstance(node, BVSub):
+        return (walk(node.children[0]) - walk(node.children[1])) & mask
+    if isinstance(node, BVMul):
+        return (walk(node.children[0]) * walk(node.children[1])) & mask
+    if isinstance(node, BVShl):
+        amount = walk(node.children[1])
+        if amount >= node.width:
+            return 0
+        return (walk(node.children[0]) << amount) & mask
+    if isinstance(node, BVLshr):
+        amount = walk(node.children[1])
+        if amount >= node.width:
+            return 0
+        return walk(node.children[0]) >> amount
+    if isinstance(node, BVAshr):
+        amount = walk(node.children[1])
+        value = _to_signed(walk(node.children[0]), node.width)
+        if amount >= node.width:
+            amount = node.width - 1
+        return (value >> amount) & mask
+    if isinstance(node, BVEq):
+        return int(walk(node.children[0]) == walk(node.children[1]))
+    if isinstance(node, BVUlt):
+        return int(walk(node.children[0]) < walk(node.children[1]))
+    if isinstance(node, BVSlt):
+        width = node.children[0].width
+        return int(
+            _to_signed(walk(node.children[0]), width)
+            < _to_signed(walk(node.children[1]), width)
+        )
+    if isinstance(node, BVExtract):
+        return (walk(node.children[0]) >> node.low) & node.mask
+    if isinstance(node, BVConcat):
+        result = 0
+        for child in node.children:
+            result = (result << child.width) | walk(child)
+        return result
+    if isinstance(node, BVIte):
+        return walk(node.children[1]) if walk(node.children[0]) else walk(node.children[2])
+    if isinstance(node, BVReduceOr):
+        return int(walk(node.children[0]) != 0)
+    if isinstance(node, BVReduceAnd):
+        return int(walk(node.children[0]) == node.children[0].mask)
+    raise ExprError(f"cannot evaluate expression node {node!r}")

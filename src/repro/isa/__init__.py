@@ -1,0 +1,55 @@
+"""The custom microcontroller instruction-set architecture.
+
+The industrial cores in the paper implement a proprietary ISA with more than
+50 instructions; this package defines an equivalent custom ISA ("MCA", the
+Microcontroller Core Architecture): 57 base instructions plus one extension
+instruction (``SATADD``) that only Designs B and C implement -- mirroring the
+"one additional instruction in B and C (vs. A)" noted in the paper.
+
+Contents
+--------
+* :mod:`repro.isa.arch` -- architecture profiles (data width, register count,
+  memory size).
+* :mod:`repro.isa.instructions` -- the instruction catalogue with operational
+  semantics metadata.
+* :mod:`repro.isa.encoding` -- binary instruction encoding and decoding.
+* :mod:`repro.isa.assembler` -- a small two-pass assembler for writing
+  directed tests and example programs.
+* :mod:`repro.isa.golden` -- the ISA-level golden reference model used by the
+  constrained-random testbench.
+"""
+
+from repro.isa.arch import ArchParams, FULL_PROFILE, SMALL_PROFILE, TINY_PROFILE
+from repro.isa.instructions import (
+    Instruction,
+    InstructionClass,
+    INSTRUCTIONS,
+    instruction_by_name,
+    instruction_by_opcode,
+    instructions_for_design,
+)
+from repro.isa.encoding import EncodedInstruction, decode, encode, encode_fields
+from repro.isa.assembler import AssemblerError, Program, assemble
+from repro.isa.golden import ArchState, GoldenModel
+
+__all__ = [
+    "ArchParams",
+    "TINY_PROFILE",
+    "SMALL_PROFILE",
+    "FULL_PROFILE",
+    "Instruction",
+    "InstructionClass",
+    "INSTRUCTIONS",
+    "instruction_by_name",
+    "instruction_by_opcode",
+    "instructions_for_design",
+    "EncodedInstruction",
+    "decode",
+    "encode",
+    "encode_fields",
+    "AssemblerError",
+    "Program",
+    "assemble",
+    "ArchState",
+    "GoldenModel",
+]

@@ -1,0 +1,479 @@
+"""The instruction catalogue.
+
+Every instruction carries the metadata needed by the decoder, the RTL core,
+the golden model, the QED module (which must know how to duplicate it and
+whether it may appear in a QED sequence) and the Single-I property generator.
+
+The catalogue contains 57 base instructions (Design A) plus the ``SATADD``
+extension implemented only by Designs B and C, mirroring the paper's "one
+additional instruction in B and C (vs. A)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class InstructionClass(Enum):
+    """Coarse instruction classes used for decoding and test generation."""
+
+    SYSTEM = "system"
+    ALU_RR = "alu_rr"
+    ALU_RI = "alu_ri"
+    UNARY = "unary"
+    IMM_LOAD = "imm_load"
+    MEMORY = "memory"
+    COMPARE = "compare"
+    BRANCH_FLAG = "branch_flag"
+    BRANCH_REG = "branch_reg"
+    JUMP = "jump"
+    EXTENSION = "extension"
+
+
+class FlagsUpdate(Enum):
+    """How an instruction updates the Z/C/N flags register."""
+
+    NONE = "none"
+    LOGIC = "logic"          # Z and N from the result, C unchanged
+    ARITH_ADD = "arith_add"  # Z, N from result; C = carry out
+    ARITH_SUB = "arith_sub"  # Z, N from result; C = no-borrow
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Static description of one ISA instruction."""
+
+    name: str
+    opcode: int
+    iclass: InstructionClass
+    description: str
+    writes_rd: bool = False
+    fixed_rd: Optional[int] = None
+    reads_rs1: bool = False
+    reads_rs2: bool = False
+    uses_imm: bool = False
+    flags: FlagsUpdate = FlagsUpdate.NONE
+    uses_flags: bool = False
+    is_control_flow: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    extension: bool = False
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the instruction accesses data memory."""
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether the instruction is a conditional branch."""
+        return self.iclass in (
+            InstructionClass.BRANCH_FLAG,
+            InstructionClass.BRANCH_REG,
+        )
+
+    @property
+    def sets_flags(self) -> bool:
+        """Whether the instruction updates any flag."""
+        return self.flags is not FlagsUpdate.NONE
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _mk(
+    name: str,
+    opcode: int,
+    iclass: InstructionClass,
+    description: str,
+    **kwargs,
+) -> Instruction:
+    return Instruction(name, opcode, iclass, description, **kwargs)
+
+
+_ALU_RR_NAMES: List[Tuple[str, str]] = [
+    ("ADD", "rd = rs1 + rs2"),
+    ("SUB", "rd = rs1 - rs2"),
+    ("AND", "rd = rs1 & rs2"),
+    ("OR", "rd = rs1 | rs2"),
+    ("XOR", "rd = rs1 ^ rs2"),
+    ("NAND", "rd = ~(rs1 & rs2)"),
+    ("NOR", "rd = ~(rs1 | rs2)"),
+    ("XNOR", "rd = ~(rs1 ^ rs2)"),
+    ("MUL", "rd = (rs1 * rs2) mod 2^XLEN"),
+    ("MIN", "rd = unsigned minimum of rs1, rs2"),
+    ("MAX", "rd = unsigned maximum of rs1, rs2"),
+    ("SLL", "rd = rs1 << rs2 (logical)"),
+    ("SRL", "rd = rs1 >> rs2 (logical)"),
+    ("SRA", "rd = rs1 >> rs2 (arithmetic)"),
+]
+
+_ALU_RI_NAMES: List[Tuple[str, str]] = [
+    ("ADDI", "rd = rs1 + zext(imm)"),
+    ("SUBI", "rd = rs1 - zext(imm)"),
+    ("ANDI", "rd = rs1 & zext(imm)"),
+    ("ORI", "rd = rs1 | zext(imm)"),
+    ("XORI", "rd = rs1 ^ zext(imm)"),
+    ("SLLI", "rd = rs1 << imm"),
+    ("SRLI", "rd = rs1 >> imm (logical)"),
+    ("SRAI", "rd = rs1 >> imm (arithmetic)"),
+]
+
+_UNARY_NAMES: List[Tuple[str, str]] = [
+    ("NOT", "rd = ~rs1"),
+    ("NEG", "rd = -rs1 (two's complement)"),
+    ("MOV", "rd = rs1"),
+    ("INC", "rd = rs1 + 1"),
+    ("DEC", "rd = rs1 - 1"),
+    ("ROL", "rd = rs1 rotated left by one bit"),
+    ("ROR", "rd = rs1 rotated right by one bit"),
+    ("SWAP", "rd = rs1 with upper/lower halves exchanged"),
+    ("PARITY", "rd = XOR-reduction of rs1 (0 or 1)"),
+    ("ABS", "rd = absolute value of rs1 (signed)"),
+]
+
+
+def _build_catalogue() -> List[Instruction]:
+    catalogue: List[Instruction] = []
+    opcode = 0
+
+    def nxt() -> int:
+        nonlocal opcode
+        value = opcode
+        opcode += 1
+        return value
+
+    # System.
+    catalogue.append(_mk("NOP", nxt(), InstructionClass.SYSTEM, "no operation"))
+    catalogue.append(
+        _mk("HALT", nxt(), InstructionClass.SYSTEM, "stop instruction issue")
+    )
+
+    # Register-register ALU.
+    for name, description in _ALU_RR_NAMES:
+        flags = (
+            FlagsUpdate.ARITH_ADD
+            if name == "ADD"
+            else FlagsUpdate.ARITH_SUB
+            if name == "SUB"
+            else FlagsUpdate.LOGIC
+        )
+        catalogue.append(
+            _mk(
+                name,
+                nxt(),
+                InstructionClass.ALU_RR,
+                description,
+                writes_rd=True,
+                reads_rs1=True,
+                reads_rs2=True,
+                flags=flags,
+            )
+        )
+
+    # Register-immediate ALU.
+    for name, description in _ALU_RI_NAMES:
+        flags = (
+            FlagsUpdate.ARITH_ADD
+            if name == "ADDI"
+            else FlagsUpdate.ARITH_SUB
+            if name == "SUBI"
+            else FlagsUpdate.LOGIC
+        )
+        catalogue.append(
+            _mk(
+                name,
+                nxt(),
+                InstructionClass.ALU_RI,
+                description,
+                writes_rd=True,
+                reads_rs1=True,
+                uses_imm=True,
+                flags=flags,
+            )
+        )
+
+    # Unary register operations.
+    for name, description in _UNARY_NAMES:
+        flags = (
+            FlagsUpdate.ARITH_ADD
+            if name == "INC"
+            else FlagsUpdate.ARITH_SUB
+            if name in ("DEC", "NEG")
+            else FlagsUpdate.LOGIC
+        )
+        catalogue.append(
+            _mk(
+                name,
+                nxt(),
+                InstructionClass.UNARY,
+                description,
+                writes_rd=True,
+                reads_rs1=True,
+                flags=flags,
+            )
+        )
+
+    # Immediate loads.
+    catalogue.append(
+        _mk(
+            "LDI",
+            nxt(),
+            InstructionClass.IMM_LOAD,
+            "rd = zext(imm)",
+            writes_rd=True,
+            uses_imm=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "LDIH",
+            nxt(),
+            InstructionClass.IMM_LOAD,
+            "rd = imm shifted into the upper half of the word",
+            writes_rd=True,
+            uses_imm=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "LDIL",
+            nxt(),
+            InstructionClass.IMM_LOAD,
+            "R0 = zext(imm); the destination register is fixed to R0",
+            writes_rd=True,
+            fixed_rd=0,
+            uses_imm=True,
+        )
+    )
+
+    # Memory.
+    catalogue.append(
+        _mk(
+            "LD",
+            nxt(),
+            InstructionClass.MEMORY,
+            "rd = dmem[rs1]",
+            writes_rd=True,
+            reads_rs1=True,
+            is_load=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "ST",
+            nxt(),
+            InstructionClass.MEMORY,
+            "dmem[rs1] = rs2",
+            reads_rs1=True,
+            reads_rs2=True,
+            is_store=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "LDO",
+            nxt(),
+            InstructionClass.MEMORY,
+            "rd = dmem[rs1 + imm]",
+            writes_rd=True,
+            reads_rs1=True,
+            uses_imm=True,
+            is_load=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "STO",
+            nxt(),
+            InstructionClass.MEMORY,
+            "dmem[rs1 + imm] = rs2",
+            reads_rs1=True,
+            reads_rs2=True,
+            uses_imm=True,
+            is_store=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "LDA",
+            nxt(),
+            InstructionClass.MEMORY,
+            "rd = dmem[imm] (absolute address)",
+            writes_rd=True,
+            uses_imm=True,
+            is_load=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "STA",
+            nxt(),
+            InstructionClass.MEMORY,
+            "dmem[imm] = rs2 (absolute address)",
+            reads_rs2=True,
+            uses_imm=True,
+            is_store=True,
+        )
+    )
+
+    # Compare / test (flags only).
+    catalogue.append(
+        _mk(
+            "CMP",
+            nxt(),
+            InstructionClass.COMPARE,
+            "set flags from rs1 - rs2",
+            reads_rs1=True,
+            reads_rs2=True,
+            flags=FlagsUpdate.ARITH_SUB,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "CMPI",
+            nxt(),
+            InstructionClass.COMPARE,
+            "set flags from rs1 - zext(imm); the architectural intent is that "
+            "Z, N and C are all updated (like CMP)",
+            reads_rs1=True,
+            uses_imm=True,
+            flags=FlagsUpdate.ARITH_SUB,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "TST",
+            nxt(),
+            InstructionClass.COMPARE,
+            "set Z/N flags from rs1",
+            reads_rs1=True,
+            flags=FlagsUpdate.LOGIC,
+        )
+    )
+
+    # Flag-based branches (absolute target in imm).
+    for name, description in [
+        ("BZ", "branch to imm if Z flag set (previous result was zero)"),
+        ("BNZ", "branch to imm if Z flag clear"),
+        ("BC", "branch to imm if C flag set"),
+        ("BNC", "branch to imm if C flag clear"),
+        ("BN", "branch to imm if N flag set (previous result negative)"),
+        ("BNN", "branch to imm if N flag clear"),
+    ]:
+        catalogue.append(
+            _mk(
+                name,
+                nxt(),
+                InstructionClass.BRANCH_FLAG,
+                description,
+                uses_imm=True,
+                uses_flags=True,
+                is_control_flow=True,
+            )
+        )
+
+    # Register-compare branches.
+    for name, description in [
+        ("BEQ", "branch to imm if rs1 == rs2"),
+        ("BNE", "branch to imm if rs1 != rs2"),
+    ]:
+        catalogue.append(
+            _mk(
+                name,
+                nxt(),
+                InstructionClass.BRANCH_REG,
+                description,
+                reads_rs1=True,
+                reads_rs2=True,
+                uses_imm=True,
+                is_control_flow=True,
+            )
+        )
+
+    # Jumps.
+    catalogue.append(
+        _mk(
+            "JMP",
+            nxt(),
+            InstructionClass.JUMP,
+            "unconditional jump to imm",
+            uses_imm=True,
+            is_control_flow=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "JR",
+            nxt(),
+            InstructionClass.JUMP,
+            "unconditional jump to the address in rs1",
+            reads_rs1=True,
+            is_control_flow=True,
+        )
+    )
+    catalogue.append(
+        _mk(
+            "JAL",
+            nxt(),
+            InstructionClass.JUMP,
+            "rd = pc + 1; jump to imm",
+            writes_rd=True,
+            uses_imm=True,
+            is_control_flow=True,
+        )
+    )
+
+    # Extension instruction (Designs B and C only).
+    catalogue.append(
+        _mk(
+            "SATADD",
+            nxt(),
+            InstructionClass.EXTENSION,
+            "rd = unsigned saturating rs1 + rs2 (clamps at the maximum value)",
+            writes_rd=True,
+            reads_rs1=True,
+            reads_rs2=True,
+            flags=FlagsUpdate.ARITH_ADD,
+            extension=True,
+        )
+    )
+    return catalogue
+
+
+INSTRUCTIONS: List[Instruction] = _build_catalogue()
+
+_BY_NAME: Dict[str, Instruction] = {instr.name: instr for instr in INSTRUCTIONS}
+_BY_OPCODE: Dict[int, Instruction] = {
+    instr.opcode: instr for instr in INSTRUCTIONS
+}
+
+OPCODE_WIDTH = 6
+NUM_BASE_INSTRUCTIONS = sum(1 for instr in INSTRUCTIONS if not instr.extension)
+NUM_INSTRUCTIONS = len(INSTRUCTIONS)
+
+
+def instruction_by_name(name: str) -> Instruction:
+    """Look up an instruction by mnemonic (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown instruction mnemonic {name!r}") from None
+
+
+def instruction_by_opcode(opcode: int) -> Optional[Instruction]:
+    """Look up an instruction by opcode, ``None`` for unused encodings."""
+    return _BY_OPCODE.get(opcode)
+
+
+def instructions_for_design(with_extension: bool) -> List[Instruction]:
+    """Return the instruction set of a design family.
+
+    Design A implements the base set; Designs B and C additionally implement
+    the ``SATADD`` extension.
+    """
+    if with_extension:
+        return list(INSTRUCTIONS)
+    return [instr for instr in INSTRUCTIONS if not instr.extension]

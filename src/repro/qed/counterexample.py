@@ -1,0 +1,164 @@
+"""Interpretation of BMC counterexamples as QED instruction sequences.
+
+The raw counterexample produced by :mod:`repro.bmc` is a cycle-by-cycle
+waveform.  For debugging -- the activity the paper measures in Table 3 -- the
+interesting view is the *instruction sequence* the QED module injected: which
+instructions were original, which were duplicates, where the failing pair
+diverged.  :func:`interpret_counterexample` produces that view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bmc.trace import CounterexampleTrace
+from repro.isa.arch import ArchParams
+from repro.isa.encoding import decode
+
+
+@dataclass(frozen=True)
+class QEDInstructionEvent:
+    """One instruction injected into the core during a counterexample."""
+
+    cycle: int
+    word: int
+    mnemonic: str
+    rendering: str
+    origin: str  # "original", "duplicate", or a phase name for memory mode
+
+    def __str__(self) -> str:
+        return f"cycle {self.cycle:2d}  [{self.origin:9s}]  {self.rendering}"
+
+
+@dataclass
+class QEDCounterexample:
+    """A decoded Symbolic QED counterexample."""
+
+    design_name: str
+    mode: str
+    length_cycles: int
+    events: List[QEDInstructionEvent] = field(default_factory=list)
+    final_register_pairs: List[tuple] = field(default_factory=list)
+    final_memory_pairs: List[tuple] = field(default_factory=list)
+
+    @property
+    def length_instructions(self) -> int:
+        """Number of instructions injected in the counterexample."""
+        return len(self.events)
+
+    def mismatching_register_pairs(self) -> List[tuple]:
+        """(index, original value, duplicate value) for unequal pairs."""
+        return [
+            (index, original, duplicate)
+            for index, original, duplicate in self.final_register_pairs
+            if original != duplicate
+        ]
+
+    def mismatching_memory_pairs(self) -> List[tuple]:
+        """(address, original value, duplicate value) for unequal pairs."""
+        return [
+            (index, original, duplicate)
+            for index, original, duplicate in self.final_memory_pairs
+            if original != duplicate
+        ]
+
+    def report(self) -> str:
+        """Human-readable report of the counterexample."""
+        lines = [
+            f"Symbolic QED counterexample on {self.design_name} "
+            f"({self.mode} mode): {self.length_cycles} cycles, "
+            f"{self.length_instructions} instructions",
+        ]
+        lines.extend(f"  {event}" for event in self.events)
+        register_mismatches = self.mismatching_register_pairs()
+        if register_mismatches:
+            lines.append("  mismatching register pairs:")
+            for index, original, duplicate in register_mismatches:
+                lines.append(
+                    f"    R{index} = {original}  vs  "
+                    f"R{index}' = {duplicate}"
+                )
+        memory_mismatches = self.mismatching_memory_pairs()
+        if memory_mismatches:
+            lines.append("  mismatching memory pairs:")
+            for index, original, duplicate in memory_mismatches:
+                lines.append(
+                    f"    mem[{index}] = {original}  vs  "
+                    f"mem'[{index}] = {duplicate}"
+                )
+        return "\n".join(lines)
+
+
+def interpret_counterexample(
+    arch: ArchParams,
+    trace: CounterexampleTrace,
+    *,
+    mode: str,
+    register_pairs: Optional[List[tuple]] = None,
+    memory_pairs: Optional[List[tuple]] = None,
+) -> QEDCounterexample:
+    """Decode a BMC counterexample trace into a QED instruction sequence.
+
+    The harness exposes the instruction stream presented to the core as the
+    design outputs ``qed_instruction_to_core`` / ``qed_valid_to_core`` and, in
+    register-halving modes, the ``qed.original`` BMC input; the memory
+    duplication mode is decoded from the module phase instead.
+    """
+    result = QEDCounterexample(
+        design_name=trace.design_name,
+        mode=mode,
+        length_cycles=trace.length,
+    )
+    for cycle in range(trace.length):
+        valid = trace.outputs[cycle].get("qed_valid_to_core", 0)
+        if not valid:
+            continue
+        word = trace.outputs[cycle].get("qed_instruction_to_core", 0)
+        encoded = decode(arch, word)
+        if mode in ("eddiv", "eddiv_cf"):
+            origin = (
+                "original"
+                if trace.inputs[cycle].get("qed.original", 0)
+                else "duplicate"
+            )
+        else:
+            phase = trace.states[cycle].get("qedmem.phase", 0)
+            origin = {
+                0: "original",
+                1: "save-orig",
+                2: "restore",
+                3: "duplicate",
+                4: "save-dup",
+                5: "done",
+            }.get(phase, f"phase{phase}")
+        result.events.append(
+            QEDInstructionEvent(
+                cycle=cycle,
+                word=word,
+                mnemonic=encoded.mnemonic,
+                rendering=encoded.render(),
+                origin=origin,
+            )
+        )
+
+    final_state = trace.states[-1] if trace.states else {}
+    if register_pairs:
+        for original, duplicate in register_pairs:
+            result.final_register_pairs.append(
+                (
+                    original,
+                    final_state.get(f"regs[{original}]", 0),
+                    final_state.get(f"regs[{duplicate}]", 0),
+                )
+            )
+    if memory_pairs:
+        for original, duplicate in memory_pairs:
+            result.final_memory_pairs.append(
+                (
+                    original,
+                    final_state.get(f"dmem[{original}]", 0),
+                    final_state.get(f"dmem[{duplicate}]", 0),
+                )
+            )
+    return result

@@ -1,0 +1,32 @@
+"""RTL modelling, elaboration and simulation.
+
+Designs are described as synchronous circuits: primary inputs, registers with
+reset values and next-state expressions, register-array memories, and named
+combinational outputs.  The same description serves two consumers:
+
+* the cycle-accurate two-valued simulator (:mod:`repro.rtl.simulator`), used
+  by the industrial-flow baselines (directed tests, constrained-random
+  simulation), and
+* the bounded model checker (:mod:`repro.bmc`), which unrolls the next-state
+  expressions symbolically.
+
+This mirrors the paper's setup where one RTL description feeds both the
+commercial simulator and the Onespin BMC engine.
+"""
+
+from repro.rtl.circuit import Circuit, Module, MemoryArray, Register, RTLBuildError
+from repro.rtl.design import Design, elaborate
+from repro.rtl.simulator import Simulator
+from repro.rtl.waveform import Waveform
+
+__all__ = [
+    "Circuit",
+    "Module",
+    "MemoryArray",
+    "Register",
+    "RTLBuildError",
+    "Design",
+    "elaborate",
+    "Simulator",
+    "Waveform",
+]

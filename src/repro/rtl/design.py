@@ -1,0 +1,158 @@
+"""Elaboration of a :class:`~repro.rtl.circuit.Circuit` into a frozen design.
+
+The elaborated :class:`Design` is the interface consumed by both the
+simulator and the bounded model checker: a set of typed inputs, a state
+vector with reset values, one next-state expression per state element, and
+named outputs/assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.expr.bitvec import BV, BVVar
+from repro.rtl.circuit import Circuit, RTLBuildError
+
+
+@dataclass(frozen=True)
+class StateElement:
+    """One register of the elaborated design."""
+
+    name: str
+    width: int
+    reset: int
+
+
+@dataclass
+class Design:
+    """An elaborated synchronous design.
+
+    Attributes
+    ----------
+    name:
+        Human-readable design name (e.g. ``"design_a.v3"``).
+    inputs:
+        Mapping from primary-input name to bit width.
+    state:
+        The state elements in a deterministic order.
+    next_state:
+        Mapping from state-element name to its next-state expression.
+    outputs:
+        Named combinational output expressions.
+    assumptions:
+        Named 1-bit environmental constraints on inputs/state.
+    """
+
+    name: str
+    inputs: Dict[str, int]
+    state: List[StateElement]
+    next_state: Dict[str, BV]
+    outputs: Dict[str, BV]
+    assumptions: Dict[str, BV] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def state_names(self) -> List[str]:
+        """Names of all state elements."""
+        return [element.name for element in self.state]
+
+    @property
+    def num_flip_flops(self) -> int:
+        """Total number of flip-flops (sum of state-element widths)."""
+        return sum(element.width for element in self.state)
+
+    def state_element(self, name: str) -> StateElement:
+        """Look up a state element by name."""
+        for element in self.state:
+            if element.name == name:
+                return element
+        raise KeyError(f"no state element named {name!r}")
+
+    def reset_values(self) -> Dict[str, int]:
+        """Return the reset value of every state element."""
+        return {element.name: element.reset for element in self.state}
+
+    def free_variables(self) -> Set[str]:
+        """Names of all variables referenced by any expression."""
+        names: Set[str] = set()
+        for expr in list(self.next_state.values()) + list(self.outputs.values()) + list(
+            self.assumptions.values()
+        ):
+            names |= _collect_variables(expr)
+        return names
+
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`RTLBuildError` on error."""
+        known = set(self.inputs) | {element.name for element in self.state}
+        free = self.free_variables()
+        undriven = free - known
+        if undriven:
+            raise RTLBuildError(
+                "expressions reference undeclared signals: "
+                + ", ".join(sorted(undriven))
+            )
+        for element in self.state:
+            expr = self.next_state.get(element.name)
+            if expr is None:
+                raise RTLBuildError(
+                    f"state element {element.name!r} has no next-state expression"
+                )
+            if expr.width != element.width:
+                raise RTLBuildError(
+                    f"state element {element.name!r} has width {element.width} "
+                    f"but its next-state expression has width {expr.width}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Design({self.name!r}, inputs={len(self.inputs)}, "
+            f"flip_flops={self.num_flip_flops}, outputs={len(self.outputs)})"
+        )
+
+
+def _collect_variables(expr: BV) -> Set[str]:
+    names: Set[str] = set()
+    stack = [expr]
+    seen: Set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, BVVar):
+            names.add(node.name)
+        stack.extend(node.children)
+    return names
+
+
+def elaborate(circuit: Circuit, name: str = "") -> Design:
+    """Freeze *circuit* into a :class:`Design`.
+
+    Memories are finalised (their scheduled writes become register
+    next-states), registers without an explicit next-state expression hold
+    their value, and the result is validated.
+    """
+    for memory in circuit.memories.values():
+        memory.finalize()
+
+    state: List[StateElement] = []
+    next_state: Dict[str, BV] = {}
+    for register_name, register in circuit.registers.items():
+        state.append(
+            StateElement(register_name, register.width, register.reset)
+        )
+        next_state[register_name] = (
+            register.next if register.next is not None else register.q
+        )
+
+    design = Design(
+        name=name or circuit.name,
+        inputs={input_name: var.width for input_name, var in circuit.inputs.items()},
+        state=state,
+        next_state=next_state,
+        outputs=dict(circuit.outputs),
+        assumptions=dict(circuit.assumptions),
+    )
+    design.validate()
+    return design

@@ -1,0 +1,138 @@
+"""Cycle-accurate two-valued simulation of elaborated designs.
+
+The simulator is the substrate for the industrial verification flow
+baselines: directed simulation tests drive explicit stimulus, and the
+constrained-random environment samples stimulus and checks results against
+the ISA golden model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.expr.eval import evaluate
+from repro.rtl.design import Design
+from repro.rtl.waveform import Waveform
+
+
+class AssumptionViolation(RuntimeError):
+    """Raised when driven stimulus violates a design assumption."""
+
+
+class Simulator:
+    """Step-by-step simulator for a :class:`~repro.rtl.design.Design`."""
+
+    def __init__(
+        self,
+        design: Design,
+        *,
+        record_waveform: bool = False,
+        check_assumptions: bool = True,
+    ) -> None:
+        self.design = design
+        self._state: Dict[str, int] = design.reset_values()
+        self._cycle = 0
+        self._check_assumptions = check_assumptions
+        self.waveform: Optional[Waveform] = (
+            Waveform(design.name) if record_waveform else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        """Number of clock edges applied since reset."""
+        return self._cycle
+
+    @property
+    def state(self) -> Dict[str, int]:
+        """Copy of the current architectural state."""
+        return dict(self._state)
+
+    def reset(self) -> None:
+        """Return the design to its reset state."""
+        self._state = self.design.reset_values()
+        self._cycle = 0
+        if self.waveform is not None:
+            self.waveform.clear()
+
+    def peek(self, name: str) -> int:
+        """Read a state element by name."""
+        return self._state[name]
+
+    def poke(self, name: str, value: int) -> None:
+        """Force a state element to *value* (testbench backdoor)."""
+        element = self.design.state_element(name)
+        self._state[name] = value & ((1 << element.width) - 1)
+
+    # ------------------------------------------------------------------
+    def _environment(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        env = dict(self._state)
+        for name, width in self.design.inputs.items():
+            if name not in inputs:
+                raise KeyError(
+                    f"no value driven for input {name!r} at cycle {self._cycle}"
+                )
+            env[name] = inputs[name] & ((1 << width) - 1)
+        return env
+
+    def outputs(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate all outputs combinationally for the given inputs."""
+        env = self._environment(inputs)
+        cache: Dict[int, int] = {}
+        return {
+            name: evaluate(expr, env, cache)
+            for name, expr in self.design.outputs.items()
+        }
+
+    def output(self, name: str, inputs: Mapping[str, int]) -> int:
+        """Evaluate a single named output."""
+        env = self._environment(inputs)
+        return evaluate(self.design.outputs[name], env)
+
+    def step(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Apply one clock edge with the given inputs.
+
+        Returns the output values observed *before* the edge (i.e. the
+        combinational response to the driven inputs in the current state).
+        """
+        env = self._environment(inputs)
+        cache: Dict[int, int] = {}
+
+        if self._check_assumptions:
+            for name, expr in self.design.assumptions.items():
+                if evaluate(expr, env, cache) != 1:
+                    raise AssumptionViolation(
+                        f"assumption {name!r} violated at cycle {self._cycle}"
+                    )
+
+        outputs = {
+            name: evaluate(expr, env, cache)
+            for name, expr in self.design.outputs.items()
+        }
+
+        next_state = {
+            name: evaluate(expr, env, cache)
+            for name, expr in self.design.next_state.items()
+        }
+
+        if self.waveform is not None:
+            self.waveform.record(self._cycle, env, outputs)
+
+        self._state = next_state
+        self._cycle += 1
+        return outputs
+
+    def run(
+        self,
+        stimulus: Iterable[Mapping[str, int]],
+        *,
+        on_cycle: Optional[Callable[[int, Dict[str, int]], None]] = None,
+    ) -> List[Dict[str, int]]:
+        """Apply a sequence of input maps; return the outputs of every cycle."""
+        trace: List[Dict[str, int]] = []
+        for inputs in stimulus:
+            outputs = self.step(inputs)
+            trace.append(outputs)
+            if on_cycle is not None:
+                on_cycle(self._cycle, outputs)
+        return trace

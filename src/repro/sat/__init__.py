@@ -1,0 +1,33 @@
+"""Boolean satisfiability substrate.
+
+Symbolic QED is driven by a bounded model checker, which in turn is driven by
+a SAT solver (the paper uses the commercial Onespin 360 DV engine; we build
+the same pipeline from scratch).  This package provides:
+
+* :mod:`repro.sat.cnf` -- a CNF container with variable allocation and DIMACS
+  input/output.
+* :mod:`repro.sat.solver` -- a CDCL (conflict-driven clause learning) solver
+  with two-watched-literal propagation, VSIDS branching, first-UIP conflict
+  analysis, Luby restarts and phase saving.
+* :mod:`repro.sat.simplify` -- lightweight preprocessing (unit propagation,
+  pure-literal elimination, tautology/duplicate removal).
+
+The public entry point used by the rest of the library is
+:func:`repro.sat.solve`.
+"""
+
+from repro.sat.cnf import CNF, Literal, neg, var_of, sign_of
+from repro.sat.solver import CDCLSolver, SolverResult, solve
+from repro.sat.simplify import simplify_cnf
+
+__all__ = [
+    "CNF",
+    "Literal",
+    "neg",
+    "var_of",
+    "sign_of",
+    "CDCLSolver",
+    "SolverResult",
+    "solve",
+    "simplify_cnf",
+]

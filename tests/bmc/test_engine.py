@@ -1,0 +1,102 @@
+"""Tests for the bounded model checking engine."""
+
+import pytest
+
+from repro.bmc import BMCProblem, BMCStatus, BoundedModelChecker, SafetyProperty
+from repro.bmc.engine import check_property
+from repro.bmc.property import Assumption
+from repro.bmc.unroller import SYMBOLIC, Unroller
+from repro.expr import BVConst, BVVar, mux
+from repro.rtl import Circuit, elaborate
+
+
+def _counter_design(width: int = 4):
+    circuit = Circuit("counter")
+    enable = circuit.input("enable", 1)
+    count = circuit.register("count", width, reset=0)
+    count.next = mux(enable, count.q + BVConst(width, 1), count.q)
+    circuit.output("value", count.q)
+    return elaborate(circuit)
+
+
+class TestUnroller:
+    def test_frames_accumulate(self):
+        unroller = Unroller(_counter_design())
+        unroller.unroll(3)
+        assert unroller.num_frames == 3
+        assert "enable" in unroller.frames[2].inputs
+
+    def test_symbolic_initial_state_creates_inputs(self):
+        design = _counter_design()
+        unroller = Unroller(design, initial_state={"count": SYMBOLIC})
+        unroller.unroll(1)
+        assert unroller.aig.num_inputs >= design.inputs["enable"] + 4
+
+    def test_blast_at_missing_frame_rejected(self):
+        unroller = Unroller(_counter_design())
+        with pytest.raises(IndexError):
+            unroller.blast_at_frame(BVVar("count", 4), 0)
+
+
+class TestEngine:
+    def test_violation_found_at_expected_depth(self):
+        design = _counter_design()
+        prop = SafetyProperty("never3", BVVar("count", 4).ne(BVConst(4, 3)))
+        result = check_property(design, prop, max_bound=8)
+        assert result.status is BMCStatus.VIOLATION
+        assert result.counterexample_length == 4
+        assert result.counterexample.state_at(3, "count") == 3
+
+    def test_unreachable_value_is_not_violated(self):
+        design = _counter_design()
+        prop = SafetyProperty("never9", BVVar("count", 4).ne(BVConst(4, 9)))
+        result = check_property(design, prop, max_bound=5)
+        assert result.status is BMCStatus.NO_VIOLATION_WITHIN_BOUND
+
+    def test_assumptions_constrain_search(self):
+        design = _counter_design()
+        prop = SafetyProperty("never2", BVVar("count", 4).ne(BVConst(4, 2)))
+        never_enable = Assumption("no_enable", BVVar("enable", 1).eq(BVConst(1, 0)))
+        result = check_property(
+            design, prop, assumptions=[never_enable], max_bound=6
+        )
+        assert result.status is BMCStatus.NO_VIOLATION_WITHIN_BOUND
+
+    def test_any_frame_mode_matches_first_mode(self):
+        design = _counter_design()
+        prop = SafetyProperty("never3", BVVar("count", 4).ne(BVConst(4, 3)))
+        problem = BMCProblem(
+            design=design,
+            prop=prop,
+            max_bound=8,
+            violation_mode="any",
+            bound_schedule=[8],
+        )
+        result = BoundedModelChecker(problem).run()
+        assert result.status is BMCStatus.VIOLATION
+        # The trace is truncated at the first violating cycle of the chosen
+        # run (the "any" mode does not minimise the prefix, so the length may
+        # exceed the minimal 4-cycle counterexample but never the bound).
+        trace = result.counterexample
+        assert trace.length <= 8
+        assert trace.state_at(trace.length - 1, "count") == 3
+
+    def test_property_over_outputs(self):
+        design = _counter_design()
+        prop = SafetyProperty("output_small", BVVar("value", 4).ult(BVConst(4, 2)))
+        result = check_property(design, prop, max_bound=6)
+        assert result.found_violation
+        assert result.counterexample_length == 3
+
+    def test_invalid_violation_mode_rejected(self):
+        design = _counter_design()
+        prop = SafetyProperty("p", BVVar("count", 4).ne(BVConst(4, 1)))
+        with pytest.raises(ValueError):
+            BMCProblem(design=design, prop=prop, violation_mode="sometimes")
+
+    def test_counterexample_waveform_rendering(self):
+        design = _counter_design()
+        prop = SafetyProperty("never2", BVVar("count", 4).ne(BVConst(4, 2)))
+        result = check_property(design, prop, max_bound=6)
+        summary = result.counterexample.summary(["count", "enable"])
+        assert "count" in summary

@@ -1,0 +1,81 @@
+"""Tests for the effort model, campaign plumbing and report formatting."""
+
+import pytest
+
+from repro.eval import (
+    EffortModel,
+    FOCUS_SETS,
+    PersonTime,
+    detection_breakdown,
+    design_inventory,
+    format_table,
+    runtime_statistics,
+    setup_effort_table,
+)
+from repro.eval.campaign import BugDetectionRecord, CampaignResult
+from repro.uarch.bugs import BUGS
+
+
+class TestEffortModel:
+    def test_unit_conversions(self):
+        assert PersonTime.months(1).days == 21
+        assert PersonTime.weeks(2).days == 10
+        assert PersonTime.hours(8).days == 1
+
+    def test_headline_factors_match_paper(self):
+        factors = EffortModel().headline_factors()
+        # Paper: >8X for the initial design, ~60X for subsequent designs.
+        assert 8.0 <= factors["initial"] <= 10.0
+        assert 40.0 <= factors["subsequent"] <= 65.0
+
+    def test_table1_rows(self):
+        rows = setup_effort_table()
+        techniques = [row["technique"] for row in rows]
+        assert "Symbolic QED" in techniques
+        assert any("Improvement" in t for t in techniques)
+
+    def test_fig7_breakdown_sums_to_eight_weeks(self):
+        breakdown = EffortModel().qed_setup_breakdown()
+        total = sum(item.person_weeks for _, item in breakdown)
+        assert total == pytest.approx(8.0)
+
+    def test_describe_uses_natural_units(self):
+        assert "person-months" in PersonTime.months(3).describe()
+        assert "person-weeks" in PersonTime.weeks(2).describe()
+        assert "person-days" in PersonTime(2).describe()
+
+
+class TestReports:
+    def test_design_inventory_has_sixteen_rows(self):
+        rows = design_inventory()
+        assert len(rows) == 16
+        table = format_table(rows, ["version", "rom_interface", "bugs_present"])
+        assert "A.v3" in table
+
+    def test_focus_sets_cover_every_bug(self):
+        assert set(FOCUS_SETS) == {bug.bug_id for bug in BUGS}
+
+    def test_runtime_statistics(self):
+        stats = runtime_statistics([2.0, 4.0, 6.0])
+        assert stats == {"min": 2.0, "avg": 4.0, "max": 6.0}
+        assert runtime_statistics([]) is None
+
+    def test_detection_breakdown_percentages(self):
+        # Synthetic campaign with the paper's detection pattern.
+        records = []
+        for bug in BUGS:
+            record = BugDetectionRecord(bug_id=bug.bug_id, version_name="X")
+            record.detected_by[bug.primary_feature] = True
+            record.crs_detected = bug.detected_by_crs
+            records.append(record)
+        breakdown = detection_breakdown(CampaignResult(records=records))
+        assert breakdown["total_bugs"] == 14
+        assert breakdown["symbolic_qed_detected"] == 14
+        assert breakdown["industrial_flow_detected"] == 13
+        assert breakdown["qed_unique_bugs"] == ["cmpi_carry_spec"]
+        assert breakdown["qed_vs_industrial_percent"] == pytest.approx(107.7, abs=0.1)
+        percent = breakdown["feature_breakdown_percent"]
+        assert percent["eddiv"] == pytest.approx(35.7, abs=0.1)
+        assert percent["qed_cf"] == pytest.approx(28.6, abs=0.1)
+        assert percent["qed_mem"] == pytest.approx(7.1, abs=0.1)
+        assert percent["single_i"] == pytest.approx(28.6, abs=0.1)

@@ -1,0 +1,115 @@
+"""Cross-checks of the bit-blaster against concrete evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import AIG, BitBlaster, BVConst, BVVar, CNFBuilder, mux
+from repro.expr.eval import evaluate
+from repro.sat import solve
+
+
+def _blast_and_solve(expr, env, widths):
+    """Blast *expr*, constrain inputs to *env*, and read back its value."""
+    blaster = BitBlaster()
+    for name, width in widths.items():
+        blaster.fresh_input(name, width)
+    bits = blaster.blast(expr)
+    builder = CNFBuilder(blaster.aig)
+    literals = builder.literals(bits)
+    for name, width in widths.items():
+        for index, aig_literal in enumerate(blaster.lookup(name)):
+            cnf_literal = builder.literal(aig_literal)
+            wanted = (env[name] >> index) & 1
+            builder.cnf.add_unit(cnf_literal if wanted else -cnf_literal)
+    result = solve(builder.cnf)
+    assert result.satisfiable
+    value = 0
+    for index, literal in enumerate(literals):
+        bit = result.model[abs(literal)]
+        if literal < 0:
+            bit = not bit
+        if bit:
+            value |= 1 << index
+    return value
+
+
+class TestAIG:
+    def test_constant_folding(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        assert aig.and_gate(x, 1) == x
+        assert aig.and_gate(x, 0) == 0
+        assert aig.and_gate(x, x) == x
+        assert aig.and_gate(x, aig.negate(x)) == 0
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        y = aig.add_input("y")
+        assert aig.and_gate(x, y) == aig.and_gate(y, x)
+        nodes_before = aig.num_nodes
+        aig.and_gate(x, y)
+        assert aig.num_nodes == nodes_before
+
+    def test_ripple_add(self):
+        aig = AIG()
+        a_bits = [aig.add_input() for _ in range(4)]
+        b_bits = [aig.add_input() for _ in range(4)]
+        total, carry = aig.ripple_add(a_bits, b_bits)
+        assert len(total) == 4
+        assert carry != 0
+
+
+class TestBitBlastCrossCheck:
+    WIDTHS = {"a": 6, "b": 6, "s": 1}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=63),
+        b=st.integers(min_value=0, max_value=63),
+        s=st.integers(min_value=0, max_value=1),
+    )
+    def test_operations_match_evaluation(self, a, b, s):
+        av, bv, sv = BVVar("a", 6), BVVar("b", 6), BVVar("s", 1)
+        env = {"a": a, "b": b, "s": s}
+        expressions = [
+            av + bv,
+            av - bv,
+            av * bv,
+            av & bv,
+            av ^ bv,
+            ~av,
+            -av,
+            av.eq(bv).zext(6),
+            av.ult(bv).zext(6),
+            av.slt(bv).zext(6),
+            (av << bv[0:3].zext(6)),
+            (av >> bv[0:3].zext(6)),
+            av.arith_shift_right(BVConst(6, 2)),
+            mux(sv, av, bv),
+            av[1:5].zext(6),
+            av.sext(8)[0:6],
+        ]
+        for expr in expressions:
+            expected = evaluate(expr, env)
+            actual = _blast_and_solve(expr, env, self.WIDTHS)
+            assert actual == expected, f"mismatch for {expr!r}"
+
+    def test_unbound_variable_raises(self):
+        blaster = BitBlaster()
+        with pytest.raises(Exception):
+            blaster.blast(BVVar("ghost", 4))
+
+    def test_constant_expression_needs_no_inputs(self):
+        blaster = BitBlaster()
+        bits = blaster.blast(BVConst(4, 0b1010) + BVConst(4, 1))
+        builder = CNFBuilder(blaster.aig)
+        literals = builder.literals(bits)
+        result = solve(builder.cnf)
+        assert result.satisfiable
+        value = sum(
+            1 << i
+            for i, lit in enumerate(literals)
+            if (result.model[abs(lit)] if lit > 0 else not result.model[abs(lit)])
+        )
+        assert value == 0b1011

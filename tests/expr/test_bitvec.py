@@ -1,0 +1,110 @@
+"""Tests for the bit-vector expression layer and concrete evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import BVConst, BVVar, ExprError, concat, mux, reduce_and, reduce_or
+from repro.expr.eval import evaluate
+
+
+class TestConstruction:
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ExprError):
+            BVVar("a", 8) + BVVar("b", 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ExprError):
+            BVVar("a", 0)
+
+    def test_constants_are_masked(self):
+        assert BVConst(4, 0x1F).value == 0xF
+
+    def test_structural_equality_and_hash(self):
+        a1 = BVVar("a", 8) + BVConst(8, 1)
+        a2 = BVVar("a", 8) + BVConst(8, 1)
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(ExprError):
+            BVVar("a", 4)[7]
+
+    def test_mux_requires_one_bv_branch(self):
+        with pytest.raises(ExprError):
+            mux(BVVar("s", 1), 1, 2)
+
+    def test_immutable(self):
+        a = BVVar("a", 4)
+        with pytest.raises(AttributeError):
+            a.width = 8
+
+
+class TestEvaluation:
+    ENV = {"a": 0b1011, "b": 0b0110, "s": 1}
+
+    def _check(self, expr, expected):
+        assert evaluate(expr, self.ENV) == expected
+
+    def test_arithmetic(self):
+        a, b = BVVar("a", 4), BVVar("b", 4)
+        self._check(a + b, (0b1011 + 0b0110) & 0xF)
+        self._check(a - b, (0b1011 - 0b0110) & 0xF)
+        self._check(a * b, (0b1011 * 0b0110) & 0xF)
+        self._check(-a, (-0b1011) & 0xF)
+
+    def test_bitwise(self):
+        a, b = BVVar("a", 4), BVVar("b", 4)
+        self._check(a & b, 0b0010)
+        self._check(a | b, 0b1111)
+        self._check(a ^ b, 0b1101)
+        self._check(~a, 0b0100)
+
+    def test_comparisons(self):
+        a, b = BVVar("a", 4), BVVar("b", 4)
+        self._check(a.eq(b), 0)
+        self._check(a.ne(b), 1)
+        self._check(a.ult(b), 0)
+        self._check(a.slt(b), 1)  # 0b1011 is negative as a signed nibble
+
+    def test_shifts(self):
+        a = BVVar("a", 4)
+        self._check(a << 1, 0b0110)
+        self._check(a >> 2, 0b0010)
+        self._check(a.arith_shift_right(1), 0b1101)
+
+    def test_slice_concat_extend(self):
+        a = BVVar("a", 4)
+        self._check(a[0], 1)
+        self._check(a[1:4], 0b101)
+        self._check(concat(a, BVConst(2, 0)), 0b101100)
+        self._check(a.zext(6), 0b1011)
+        self._check(a.sext(6), 0b111011)
+
+    def test_mux_and_reductions(self):
+        a, b, s = BVVar("a", 4), BVVar("b", 4), BVVar("s", 1)
+        self._check(mux(s, a, b), 0b1011)
+        self._check(reduce_or(a), 1)
+        self._check(reduce_and(a), 0)
+        self._check(reduce_and(BVConst(3, 7)), 1)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExprError):
+            evaluate(BVVar("missing", 4), {})
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+    shift=st.integers(min_value=0, max_value=9),
+)
+def test_eval_matches_python_semantics(a, b, shift):
+    av, bv = BVVar("a", 8), BVVar("b", 8)
+    env = {"a": a, "b": b}
+    assert evaluate(av + bv, env) == (a + b) & 0xFF
+    assert evaluate(av - bv, env) == (a - b) & 0xFF
+    assert evaluate(av & bv, env) == a & b
+    assert evaluate(av ^ bv, env) == a ^ b
+    assert evaluate(av.ult(bv), env) == int(a < b)
+    assert evaluate(av << shift, env) == ((a << shift) & 0xFF if shift < 8 else 0)
+    assert evaluate(av >> shift, env) == (a >> shift if shift < 8 else 0)

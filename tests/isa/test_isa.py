@@ -1,0 +1,188 @@
+"""Tests for the ISA: catalogue, encoding, assembler and golden model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    FULL_PROFILE,
+    GoldenModel,
+    SMALL_PROFILE,
+    TINY_PROFILE,
+    assemble,
+    decode,
+    encode,
+    instruction_by_name,
+    instruction_by_opcode,
+    instructions_for_design,
+)
+from repro.isa.assembler import AssemblerError
+from repro.isa.encoding import EncodingError, nop_word
+
+
+class TestCatalogue:
+    def test_design_a_has_more_than_50_instructions(self):
+        assert len(instructions_for_design(with_extension=False)) > 50
+
+    def test_designs_b_c_have_one_extra_instruction(self):
+        base = instructions_for_design(with_extension=False)
+        extended = instructions_for_design(with_extension=True)
+        assert len(extended) == len(base) + 1
+        assert [i.name for i in extended if i.extension] == ["SATADD"]
+
+    def test_opcodes_are_unique(self):
+        opcodes = [i.opcode for i in instructions_for_design(True)]
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_lookup_by_name_and_opcode(self):
+        add = instruction_by_name("add")
+        assert add.name == "ADD"
+        assert instruction_by_opcode(add.opcode) is add
+        assert instruction_by_opcode(63) is None
+
+    def test_fixed_destination_instruction(self):
+        ldil = instruction_by_name("LDIL")
+        assert ldil.fixed_rd == 0
+
+    def test_profiles_validate(self):
+        for profile in (TINY_PROFILE, SMALL_PROFILE, FULL_PROFILE):
+            assert profile.num_regs % 2 == 0
+            assert profile.instr_width == 18 + profile.imm_width
+
+
+class TestEncoding:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_encode_decode_round_trip(self, data):
+        arch = TINY_PROFILE
+        isa = instructions_for_design(True)
+        instr = data.draw(st.sampled_from(isa))
+        rd = data.draw(st.integers(0, arch.num_regs - 1))
+        rs1 = data.draw(st.integers(0, arch.num_regs - 1))
+        rs2 = data.draw(st.integers(0, arch.num_regs - 1))
+        imm = data.draw(st.integers(0, (1 << arch.imm_width) - 1))
+        word = encode(arch, instr, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        enc = decode(arch, word)
+        assert enc.instruction is instr
+        if instr.uses_imm:
+            assert enc.imm == imm
+        if instr.reads_rs1:
+            assert enc.rs1 == rs1
+
+    def test_out_of_range_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(TINY_PROFILE, "ADD", rd=9, rs1=0, rs2=0)
+
+    def test_oversized_immediate_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(TINY_PROFILE, "LDI", rd=1, imm=1 << TINY_PROFILE.imm_width)
+
+    def test_nop_is_all_zero(self):
+        assert nop_word(TINY_PROFILE) == 0
+
+    def test_render(self):
+        word = encode(TINY_PROFILE, "ADD", rd=1, rs1=2, rs2=3)
+        assert decode(TINY_PROFILE, word).render() == "ADD R1, R2, R3"
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble(
+            """
+            ; add two constants
+            LDI R1, #3
+            LDI R2, #4
+            ADD R3, R1, R2
+            HALT
+            """,
+            TINY_PROFILE,
+        )
+        assert len(program) == 4
+        assert decode(TINY_PROFILE, program.words[2]).render() == "ADD R3, R1, R2"
+
+    def test_labels_resolve(self):
+        program = assemble(
+            """
+            start:
+                BZ @end
+                LDI R1, #1
+            end:
+                HALT
+            """,
+            TINY_PROFILE,
+        )
+        assert decode(TINY_PROFILE, program.words[0]).imm == 2
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("BZ @nowhere\nHALT", TINY_PROFILE)
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("ADD R1, R2", TINY_PROFILE)
+
+    def test_store_operand_order(self):
+        program = assemble("STA #2, R3\nHALT", TINY_PROFILE)
+        enc = decode(TINY_PROFILE, program.words[0])
+        assert enc.imm == 2
+        assert enc.rs2 == 3
+
+
+class TestGoldenModel:
+    def test_alu_and_flags(self):
+        arch = TINY_PROFILE
+        golden = GoldenModel(arch)
+        state = golden.initial_state()
+        state = golden.execute_word(state, encode(arch, "LDI", rd=1, imm=3))
+        state = golden.execute_word(state, encode(arch, "LDI", rd=2, imm=3))
+        state = golden.execute_word(state, encode(arch, "SUB", rd=3, rs1=1, rs2=2))
+        assert state.regs[3] == 0
+        assert state.flag_z == 1
+        assert state.flag_c == 1  # no borrow
+
+    def test_branch_and_halt(self):
+        arch = TINY_PROFILE
+        golden = GoldenModel(arch)
+        program = [
+            encode(arch, "CMPI", rs1=0, imm=0),
+            encode(arch, "BZ", imm=3),
+            encode(arch, "LDI", rd=1, imm=5),
+            encode(arch, "HALT"),
+        ]
+        state = golden.run_program(program)
+        assert state.halted
+        assert state.regs[1] == 0  # the LDI was skipped
+
+    def test_memory_round_trip(self):
+        arch = TINY_PROFILE
+        golden = GoldenModel(arch)
+        state = golden.initial_state()
+        state = golden.execute_word(state, encode(arch, "LDI", rd=1, imm=3))
+        state = golden.execute_word(state, encode(arch, "STA", rs2=1, imm=2))
+        state = golden.execute_word(state, encode(arch, "LDA", rd=4, imm=2))
+        assert state.dmem[2] == 3
+        assert state.regs[4] == 3
+
+    def test_extension_gating(self):
+        arch = TINY_PROFILE
+        with_ext = GoldenModel(arch, with_extension=True)
+        without_ext = GoldenModel(arch, with_extension=False)
+        word = encode(arch, "SATADD", rd=1, rs1=2, rs2=3)
+        s1 = with_ext.initial_state()
+        s1.regs[2], s1.regs[3] = 9, 9
+        s2 = s1.copy()
+        assert with_ext.execute_word(s1, word).regs[1] == arch.xlen_mask
+        assert without_ext.execute_word(s2, word).regs[1] == 0  # NOP behaviour
+
+    def test_spec_bug_configuration(self):
+        arch = TINY_PROFILE
+        broken = GoldenModel(arch, cmpi_carry_broken=True)
+        state = broken.initial_state()
+        state.regs[1] = 3
+        state.flag_c = 0
+        state = broken.execute_word(state, encode(arch, "CMPI", rs1=1, imm=1))
+        assert state.flag_c == 0  # carry untouched under the amended spec
+        intact = GoldenModel(arch)
+        state2 = intact.initial_state()
+        state2.regs[1] = 3
+        state2 = intact.execute_word(state2, encode(arch, "CMPI", rs1=1, imm=1))
+        assert state2.flag_c == 1

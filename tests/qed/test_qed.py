@@ -1,0 +1,168 @@
+"""Tests for the Symbolic QED stack: EDDI-V, the QED modules, Single-I."""
+
+import pytest
+
+from repro.isa import TINY_PROFILE, decode, encode
+from repro.qed import QEDMode, SingleIChecker, SymbolicQED, allowed_instructions
+from repro.qed.eddiv import EDDIVMapping
+from repro.uarch.versions import version_by_name
+
+
+class TestEDDIVMapping:
+    def setup_method(self):
+        self.mapping = EDDIVMapping(TINY_PROFILE)
+
+    def test_register_pairs(self):
+        pairs = self.mapping.register_pairs()
+        assert pairs[0] == (0, 4)
+        assert len(pairs) == TINY_PROFILE.half_regs
+        assert self.mapping.duplicate_register(1) == 5
+        assert self.mapping.original_register(5) == 1
+
+    def test_out_of_half_rejected(self):
+        with pytest.raises(ValueError):
+            self.mapping.duplicate_register(5)
+        with pytest.raises(ValueError):
+            self.mapping.original_register(1)
+
+    def test_duplicate_word_moves_registers(self):
+        word = encode(TINY_PROFILE, "ADD", rd=1, rs1=2, rs2=3)
+        duplicate = decode(TINY_PROFILE, self.mapping.duplicate_word(word))
+        assert (duplicate.rd, duplicate.rs1, duplicate.rs2) == (5, 6, 7)
+        assert duplicate.mnemonic == "ADD"
+
+    def test_duplicate_word_moves_absolute_addresses(self):
+        word = encode(TINY_PROFILE, "STA", rs2=1, imm=1)
+        duplicate = decode(TINY_PROFILE, self.mapping.duplicate_word(word))
+        assert duplicate.imm == 1 + TINY_PROFILE.half_dmem
+        assert duplicate.rs2 == 5
+
+    def test_is_original_word(self):
+        assert self.mapping.is_original_word(
+            encode(TINY_PROFILE, "ADD", rd=1, rs1=2, rs2=3)
+        )
+        assert not self.mapping.is_original_word(
+            encode(TINY_PROFILE, "ADD", rd=5, rs1=2, rs2=3)
+        )
+
+
+class TestAllowedInstructionSets:
+    def test_base_mode_excludes_control_flow_and_fixed_rd(self):
+        names = {i.name for i in allowed_instructions(TINY_PROFILE, QEDMode.EDDIV, with_extension=True)}
+        assert "ADD" in names and "LDA" in names
+        assert "BZ" not in names
+        assert "LDIL" not in names
+        assert "HALT" not in names
+        assert "LD" not in names  # register-indirect memory excluded
+
+    def test_cf_mode_adds_control_flow(self):
+        names = {i.name for i in allowed_instructions(TINY_PROFILE, QEDMode.EDDIV_CF, with_extension=True)}
+        assert {"BZ", "BNZ", "BEQ", "JR", "JMP"} <= names
+        assert "JAL" not in names
+
+    def test_mem_mode_allows_fixed_rd_but_no_memory(self):
+        names = {i.name for i in allowed_instructions(TINY_PROFILE, QEDMode.EDDIV_MEM, with_extension=True)}
+        assert "LDIL" in names
+        assert "LDA" not in names and "ST" not in names
+
+
+class TestHarnessComposition:
+    @pytest.mark.parametrize(
+        "mode", [QEDMode.EDDIV, QEDMode.EDDIV_CF, QEDMode.EDDIV_MEM]
+    )
+    def test_composed_design_elaborates(self, mode):
+        harness = SymbolicQED("B.v6", mode=mode, arch=TINY_PROFILE)
+        design = harness.design
+        assert "qed_instruction_to_core" in design.outputs
+        assert any(name.startswith("qed") for name in design.state_names)
+        assert "qed_wiring_instruction" in design.assumptions
+
+    def test_focus_opcode_validation(self):
+        with pytest.raises(ValueError):
+            SymbolicQED(
+                "B.v6",
+                mode=QEDMode.EDDIV,
+                arch=TINY_PROFILE,
+                focus_opcodes=["BZ"],  # control flow is not allowed in EDDIV
+            )
+
+
+class TestDetection:
+    """End-to-end detection/soundness on representative versions.
+
+    These run the real BMC flow; focus opcode sets keep each run in the
+    seconds range (see the campaign module for the rationale).
+    """
+
+    def test_baseline_eddiv_detects_interaction_bug(self):
+        harness = SymbolicQED(
+            "A.v3",
+            mode=QEDMode.EDDIV,
+            arch=TINY_PROFILE,
+            focus_opcodes=["LDI", "MOV", "INC", "ADD"],
+        )
+        result = harness.check(max_bound=8)
+        assert result.found_violation
+        assert 4 <= result.counterexample_cycles <= 8
+        assert result.counterexample_instructions >= 2
+        assert result.counterexample.mismatching_register_pairs()
+
+    def test_clean_design_has_no_false_failures(self):
+        harness = SymbolicQED(
+            "B.v6",
+            mode=QEDMode.EDDIV,
+            arch=TINY_PROFILE,
+            focus_opcodes=["LDI", "MOV", "INC", "ADD", "STA", "LDA"],
+        )
+        result = harness.check(max_bound=6)
+        assert not result.found_violation
+
+    def test_qed_cf_detects_wrong_branch_direction(self):
+        harness = SymbolicQED(
+            "A.v4",
+            mode=QEDMode.EDDIV_CF,
+            arch=TINY_PROFILE,
+            focus_opcodes=["LDI", "ADD", "CMPI", "BZ"],
+        )
+        result = harness.check(max_bound=8)
+        assert result.found_violation
+
+    def test_qed_mem_detects_fixed_destination_bug(self):
+        harness = SymbolicQED(
+            "A.v5",
+            mode=QEDMode.EDDIV_MEM,
+            arch=TINY_PROFILE,
+            tracked_registers=(0,),
+        )
+        result = harness.check(max_bound=9)
+        assert result.found_violation
+        report = result.counterexample_report()
+        assert "LDIL" in report
+
+
+class TestSingleI:
+    def test_clean_design_satisfies_representative_properties(self):
+        checker = SingleIChecker("B.v6", arch=TINY_PROFILE)
+        results = checker.check_all(
+            instructions=["ADD", "SUB", "SRA", "ROR", "CMPI", "SATADD", "BZ", "LDA"]
+        )
+        assert not [r.instruction for r in results if r.violated]
+
+    def test_sra_bug_detected(self):
+        checker = SingleIChecker("A.v6", arch=TINY_PROFILE)
+        result = checker.check_instruction("SRA")
+        assert result.violated
+        assert result.counterexample_instructions == 1
+
+    def test_spec_bug_detected_on_final_design_a(self):
+        checker = SingleIChecker("A.v8", arch=TINY_PROFILE)
+        assert checker.check_instruction("CMPI").violated
+        # ...while CMP itself is fine.
+        assert not checker.check_instruction("CMP").violated
+
+    def test_interaction_bugs_escape_single_i(self):
+        # A.v3 carries only interaction bugs; single-instruction properties
+        # cannot see them (this is why the paper needs EDDI-V).
+        checker = SingleIChecker("A.v3", arch=TINY_PROFILE)
+        results = checker.check_all(instructions=["ADD", "MOV", "INC", "XOR"])
+        assert not [r.instruction for r in results if r.violated]

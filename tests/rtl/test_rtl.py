@@ -1,0 +1,116 @@
+"""Tests for circuit construction, elaboration and simulation."""
+
+import pytest
+
+from repro.expr import BVConst, BVVar, mux
+from repro.rtl import Circuit, RTLBuildError, Simulator, elaborate
+from repro.rtl.simulator import AssumptionViolation
+
+
+def _counter_circuit(width: int = 4) -> Circuit:
+    circuit = Circuit("counter")
+    enable = circuit.input("enable", 1)
+    count = circuit.register("count", width, reset=0)
+    count.next = mux(enable, count.q + BVConst(width, 1), count.q)
+    circuit.output("value", count.q)
+    return circuit
+
+
+class TestCircuitConstruction:
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit("c")
+        circuit.input("x", 1)
+        with pytest.raises(RTLBuildError):
+            circuit.register("x", 4)
+
+    def test_register_width_mismatch_rejected(self):
+        circuit = Circuit("c")
+        reg = circuit.register("r", 4)
+        with pytest.raises(RTLBuildError):
+            reg.next = BVVar("somewire", 8)
+
+    def test_undriven_signal_detected_at_elaboration(self):
+        circuit = Circuit("c")
+        reg = circuit.register("r", 4)
+        reg.next = BVVar("ghost", 4)
+        with pytest.raises(RTLBuildError):
+            elaborate(circuit)
+
+    def test_hold_when_no_next(self):
+        circuit = Circuit("c")
+        circuit.register("r", 4, reset=5)
+        design = elaborate(circuit)
+        simulator = Simulator(design)
+        simulator.step({})
+        assert simulator.peek("r") == 5
+
+    def test_memory_read_write(self):
+        circuit = Circuit("m")
+        address = circuit.input("address", 2)
+        data = circuit.input("data", 8)
+        write = circuit.input("write", 1)
+        memory = circuit.memory("mem", 4, 8)
+        memory.write(address, data, write)
+        circuit.output("read_value", memory.read(address))
+        design = elaborate(circuit)
+        simulator = Simulator(design)
+        simulator.step({"address": 2, "data": 0xAB, "write": 1})
+        assert simulator.peek("mem[2]") == 0xAB
+        assert (
+            simulator.output("read_value", {"address": 2, "data": 0, "write": 0})
+            == 0xAB
+        )
+
+    def test_flip_flop_count(self):
+        design = elaborate(_counter_circuit(6))
+        assert design.num_flip_flops == 6
+
+
+class TestSimulator:
+    def test_counter_counts_when_enabled(self):
+        design = elaborate(_counter_circuit())
+        simulator = Simulator(design)
+        for _ in range(3):
+            simulator.step({"enable": 1})
+        simulator.step({"enable": 0})
+        assert simulator.peek("count") == 3
+        assert simulator.cycle == 4
+
+    def test_missing_input_rejected(self):
+        design = elaborate(_counter_circuit())
+        simulator = Simulator(design)
+        with pytest.raises(KeyError):
+            simulator.step({})
+
+    def test_reset_restores_initial_state(self):
+        design = elaborate(_counter_circuit())
+        simulator = Simulator(design)
+        simulator.step({"enable": 1})
+        simulator.reset()
+        assert simulator.peek("count") == 0
+        assert simulator.cycle == 0
+
+    def test_poke_masks_value(self):
+        design = elaborate(_counter_circuit())
+        simulator = Simulator(design)
+        simulator.poke("count", 0x1F)
+        assert simulator.peek("count") == 0xF
+
+    def test_assumption_violation_detected(self):
+        circuit = _counter_circuit()
+        circuit.assume("never_disable", BVVar("enable", 1).eq(BVConst(1, 1)))
+        design = elaborate(circuit)
+        simulator = Simulator(design)
+        simulator.step({"enable": 1})
+        with pytest.raises(AssumptionViolation):
+            simulator.step({"enable": 0})
+
+    def test_waveform_capture_and_vcd(self):
+        design = elaborate(_counter_circuit())
+        simulator = Simulator(design, record_waveform=True)
+        simulator.run([{"enable": 1}] * 3)
+        assert len(simulator.waveform) == 3
+        table = simulator.waveform.as_table(["count"])
+        assert "count" in table
+        vcd = simulator.waveform.to_vcd(["count"])
+        assert "$enddefinitions" in vcd

@@ -1,0 +1,154 @@
+"""Tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, solve
+from repro.sat.solver import CDCLSolver, _luby
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            _luby(0)
+
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert solve(CNF()).satisfiable
+
+    def test_unit_clauses(self):
+        cnf = CNF()
+        cnf.add_unit(1)
+        cnf.add_unit(-2)
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.value(1) is True
+        assert result.value(2) is False
+
+    def test_contradictory_units(self):
+        cnf = CNF()
+        cnf.add_unit(1)
+        cnf.add_unit(-1)
+        assert not solve(cnf).satisfiable
+
+    def test_empty_clause_is_unsat(self):
+        cnf = CNF(2)
+        cnf.add_clause([])
+        assert not solve(cnf).satisfiable
+
+    def test_simple_unsat_chain(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2, 3])
+        cnf.add_clause([-3])
+        assert not solve(cnf).satisfiable
+
+    def test_simple_sat_model_satisfies_formula(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, -2])
+        cnf.add_clause([1, -2])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert cnf.evaluate(result.model)
+
+    def test_assumptions_force_branch(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        result = solve(cnf, assumptions=[-1])
+        assert result.satisfiable
+        assert result.value(2) is True
+
+    def test_conflicting_assumptions_unsat(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-2, 1])
+        assert not solve(cnf, assumptions=[-1]).satisfiable
+
+    def test_value_raises_on_unsat(self):
+        cnf = CNF()
+        cnf.add_unit(1)
+        cnf.add_unit(-1)
+        result = solve(cnf)
+        with pytest.raises(ValueError):
+            result.value(1)
+
+
+class TestPigeonhole:
+    def _php(self, holes: int) -> CNF:
+        cnf = CNF()
+        var = {}
+        for pigeon in range(holes + 1):
+            for hole in range(holes):
+                var[(pigeon, hole)] = cnf.new_var()
+        for pigeon in range(holes + 1):
+            cnf.add_clause([var[(pigeon, hole)] for hole in range(holes)])
+        for hole in range(holes):
+            for p1 in range(holes + 1):
+                for p2 in range(p1 + 1, holes + 1):
+                    cnf.add_clause([-var[(p1, hole)], -var[(p2, hole)]])
+        return cnf
+
+    def test_php_4_is_unsat(self):
+        assert not solve(self._php(4)).satisfiable
+
+    def test_php_5_is_unsat_with_learning(self):
+        result = solve(self._php(5))
+        assert not result.satisfiable
+        assert result.stats.conflicts > 0
+
+
+class TestConflictBudget:
+    def test_budget_returns_unknown(self):
+        cnf = CNF()
+        var = {}
+        holes = 7
+        for pigeon in range(holes + 1):
+            for hole in range(holes):
+                var[(pigeon, hole)] = cnf.new_var()
+        for pigeon in range(holes + 1):
+            cnf.add_clause([var[(pigeon, hole)] for hole in range(holes)])
+        for hole in range(holes):
+            for p1 in range(holes + 1):
+                for p2 in range(p1 + 1, holes + 1):
+                    cnf.add_clause([-var[(p1, hole)], -var[(p2, hole)]])
+        solver = CDCLSolver(cnf)
+        result = solver.solve(max_conflicts=5)
+        assert result.unknown
+
+
+def _brute_force(cnf: CNF) -> bool:
+    for assignment in range(1 << cnf.num_vars):
+        values = [False] + [
+            bool((assignment >> i) & 1) for i in range(cnf.num_vars)
+        ]
+        if cnf.evaluate(values):
+            return True
+    return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_random_3sat_matches_brute_force(data):
+    num_vars = data.draw(st.integers(min_value=3, max_value=8))
+    num_clauses = data.draw(st.integers(min_value=1, max_value=30))
+    rng = random.Random(data.draw(st.integers(min_value=0, max_value=10_000)))
+    cnf = CNF(num_vars)
+    for _ in range(num_clauses):
+        clause = [
+            rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(3)
+        ]
+        cnf.add_clause(clause)
+    result = solve(cnf)
+    assert result.satisfiable == _brute_force(cnf)
+    if result.satisfiable:
+        assert cnf.evaluate(result.model)

@@ -1,0 +1,129 @@
+"""Tests for the microcontroller cores, versions and bug library."""
+
+import random
+
+import pytest
+
+from repro.isa import TINY_PROFILE, encode, instructions_for_design
+from repro.isa.encoding import nop_word
+from repro.rtl import Simulator
+from repro.uarch import ALL_VERSIONS, BUGS, bug_by_id, build_design, version_by_name
+from repro.uarch.core import dmem_word_name, register_word_name
+from repro.uarch.designs import golden_model_for_version
+from repro.uarch.versions import buggy_versions, final_version, unique_bugs
+
+
+class TestVersionInventory:
+    def test_sixteen_versions(self):
+        assert len(ALL_VERSIONS) == 16
+
+    def test_fourteen_distinct_bugs(self):
+        assert len(unique_bugs()) == 14
+        assert unique_bugs() == {bug.bug_id for bug in BUGS}
+
+    def test_feature_breakdown_matches_paper(self):
+        by_feature = {}
+        for bug in BUGS:
+            by_feature.setdefault(bug.primary_feature, []).append(bug)
+        assert len(by_feature["eddiv"]) == 5       # 35.7 %
+        assert len(by_feature["qed_cf"]) == 4      # 28.6 %
+        assert len(by_feature["qed_mem"]) == 1     # 7.1 %
+        assert len(by_feature["single_i"]) == 4    # 28.6 %
+
+    def test_exactly_one_spec_bug_missed_by_crs(self):
+        missed = [bug for bug in BUGS if not bug.detected_by_crs]
+        assert [bug.bug_id for bug in missed] == ["cmpi_carry_spec"]
+        assert bug_by_id("cmpi_carry_spec").kind == "spec"
+
+    def test_final_versions_carry_only_the_spec_bug(self):
+        assert final_version("A").bugs == {"cmpi_carry_spec"}
+        assert final_version("B").bugs == set()
+        assert final_version("C").bugs == set()
+
+    def test_design_families(self):
+        assert version_by_name("A.v3").rom_interface == "dual"
+        assert version_by_name("B.v2").rom_interface == "single"
+        assert not version_by_name("A.v3").with_extension
+        assert version_by_name("C.v2").with_extension
+
+
+class TestCoreBuild:
+    def test_all_versions_elaborate(self):
+        for version in ALL_VERSIONS:
+            design = build_design(version, arch=TINY_PROFILE)
+            assert design.num_flip_flops > 80
+            assert "wb_value" in design.outputs
+
+    def test_bug_injection_changes_logic(self):
+        clean = build_design(version_by_name("B.v6"), arch=TINY_PROFILE)
+        buggy = build_design(version_by_name("A.v3"), arch=TINY_PROFILE)
+        assert clean.next_state != buggy.next_state
+
+
+def _run_random_program(design, golden, arch, rng, length=20):
+    isa = instructions_for_design(True)
+    words = []
+    for _ in range(length):
+        instr = rng.choice(isa)
+        words.append(
+            encode(
+                arch,
+                instr,
+                rd=rng.randrange(arch.num_regs) if instr.writes_rd and instr.fixed_rd is None else 0,
+                rs1=rng.randrange(arch.num_regs) if instr.reads_rs1 else 0,
+                rs2=rng.randrange(arch.num_regs) if instr.reads_rs2 else 0,
+                imm=rng.randrange(1 << arch.imm_width) if instr.uses_imm else 0,
+            )
+        )
+    simulator = Simulator(design)
+    commits = 0
+    for _ in range(length + 6):
+        pc = simulator.peek("pc")
+        word = words[pc] if pc < len(words) else nop_word(arch)
+        outputs = simulator.step({"instr_in": word, "instr_valid": 1})
+        commits += outputs["commit"]
+    state = golden.initial_state()
+    for _ in range(commits):
+        if state.halted:
+            break
+        word = words[state.pc] if state.pc < len(words) else nop_word(arch)
+        state = golden.execute_word(state, word)
+    matches = all(
+        simulator.peek(register_word_name(r)) == state.regs[r]
+        for r in range(arch.num_regs)
+    ) and all(
+        simulator.peek(dmem_word_name(d)) == state.dmem[d]
+        for d in range(arch.dmem_words)
+    ) and (
+        simulator.peek("flag_z"),
+        simulator.peek("flag_c"),
+        simulator.peek("flag_n"),
+    ) == (state.flag_z, state.flag_c, state.flag_n)
+    return matches
+
+
+class TestCoreAgainstGolden:
+    @pytest.mark.parametrize("version_name", ["A.v8", "B.v6", "C.v6", "C.v5"])
+    def test_clean_versions_match_specification(self, version_name):
+        arch = TINY_PROFILE
+        version = version_by_name(version_name)
+        design = build_design(version, arch=arch)
+        golden = golden_model_for_version(version, arch=arch)
+        rng = random.Random(7)
+        for _ in range(12):
+            assert _run_random_program(design, golden, arch, rng)
+
+    def test_buggy_version_diverges_from_clean_specification(self):
+        # The seeded bugs are real architectural bugs: a long enough random
+        # campaign against the *intended* (clean) specification exposes at
+        # least one divergence for A.v3.
+        arch = TINY_PROFILE
+        version = version_by_name("A.v3")
+        design = build_design(version, arch=arch)
+        golden = golden_model_for_version(version, arch=arch)
+        rng = random.Random(11)
+        results = [
+            _run_random_program(design, golden, arch, rng, length=24)
+            for _ in range(30)
+        ]
+        assert not all(results)
