@@ -28,7 +28,13 @@ def test_bench_table2_bug_detection_runtime(benchmark, qed_runtime_samples):
         f"[{single_stats['min']:.1f}, {single_stats['avg']:.1f}, {single_stats['max']:.1f}]"
     )
     for label, result in qed_runs:
-        print(f"    {label:20s} {result.runtime_seconds:6.2f}s  violation={result.found_violation}")
+        print(
+            f"    {label:20s} {result.runtime_seconds:6.2f}s  "
+            f"violation={result.found_violation}  "
+            f"conflicts={result.solver_conflicts}  "
+            f"learned={result.learned_clauses}  "
+            f"reused={result.learned_clauses_reused}"
+        )
     for label, result in single_i_runs:
         print(f"    {label:20s} {result.runtime_seconds:6.2f}s  violation={result.violated}")
 

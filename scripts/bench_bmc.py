@@ -1,0 +1,165 @@
+"""Benchmark the incremental BMC engine and emit per-bound solver stats as JSON.
+
+The output seeds the BENCH trajectory: every bound of every run records the
+solver work (conflicts, decisions, propagations), the learned-clause database
+carried into the next bound, and the formula growth caused by the newly
+unrolled frames.  Rising ``learned_clauses_carried`` with shrinking per-bound
+``new_clauses`` relative to the total is the signature of the incremental
+reuse working.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_bmc.py                  # fast counter demo
+    PYTHONPATH=src python scripts/bench_bmc.py --qed A.v3 \\
+        --mode eddiv --bound 8 --focus LDI MOV INC ADD          # a real QED run
+    PYTHONPATH=src python scripts/bench_bmc.py --json-out stats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.bmc import BMCProblem, BMCResult, BoundedModelChecker, SafetyProperty
+from repro.expr import BVConst, BVVar, mux
+from repro.rtl import Circuit, elaborate
+
+
+def _bound_stats_rows(result: BMCResult) -> List[Dict[str, object]]:
+    return [
+        {
+            "bound": stats.bound,
+            "window_start": stats.window_start,
+            "verdict": stats.verdict,
+            "runtime_seconds": round(stats.runtime_seconds, 6),
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "learned_clauses": stats.learned_clauses,
+            "learned_clauses_carried": stats.learned_clauses_carried,
+            "new_variables": stats.new_variables,
+            "new_clauses": stats.new_clauses,
+        }
+        for stats in result.per_bound_stats
+    ]
+
+
+def _summarise(name: str, result: BMCResult) -> Dict[str, object]:
+    return {
+        "name": name,
+        "status": result.status.value,
+        "bound_reached": result.bound_reached,
+        "runtime_seconds": round(result.runtime_seconds, 6),
+        "counterexample_cycles": result.counterexample_length,
+        "num_sat_variables": result.num_sat_variables,
+        "num_sat_clauses": result.num_sat_clauses,
+        "total_conflicts": result.total_conflicts,
+        "total_learned_clauses": result.total_learned_clauses,
+        "learned_clauses_carried": result.learned_clauses_carried,
+        "learned_clauses_reused": result.learned_clauses_reused,
+        "per_bound": _bound_stats_rows(result),
+    }
+
+
+def _counter_design(width: int = 8):
+    circuit = Circuit("bench_counter")
+    enable = circuit.input("enable", 1)
+    count = circuit.register("count", width, reset=0)
+    count.next = mux(enable, count.q + BVConst(width, 1), count.q)
+    circuit.output("value", count.q)
+    return elaborate(circuit), width
+
+
+def run_counter_bench(max_bound: int) -> List[Dict[str, object]]:
+    """A dense incremental run (violating) and a full UNSAT sweep."""
+    design, width = _counter_design()
+    target = max_bound - 1
+    violated = SafetyProperty(
+        f"never{target}", BVVar("count", width).ne(BVConst(width, target))
+    )
+    unreachable = SafetyProperty(
+        "never_back", BVVar("count", width).ne(BVConst(width, (1 << width) - 1))
+    )
+    runs = []
+    for prop in (violated, unreachable):
+        problem = BMCProblem(design=design, prop=prop, max_bound=max_bound)
+        result = BoundedModelChecker(problem).run()
+        runs.append(_summarise(f"counter/{prop.name}", result))
+    return runs
+
+
+def run_qed_bench(
+    version: str,
+    mode_name: str,
+    bound: int,
+    focus: Optional[List[str]],
+    dense: bool,
+) -> List[Dict[str, object]]:
+    from repro.isa.arch import TINY_PROFILE
+    from repro.qed import QEDMode, SymbolicQED
+
+    mode = {m.value: m for m in QEDMode}[mode_name]
+    harness = SymbolicQED(
+        version,
+        mode=mode,
+        arch=TINY_PROFILE,
+        focus_opcodes=focus if mode is not QEDMode.EDDIV_MEM else None,
+        tracked_registers=(0,),
+    )
+    check = harness.check(max_bound=bound, single_query=not dense)
+    label = f"qed/{version}/{mode.value}" + ("/dense" if dense else "")
+    return [_summarise(label, check.bmc_result)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-bound", type=int, default=16,
+        help="bound for the counter demo runs (default 16)",
+    )
+    parser.add_argument(
+        "--qed", metavar="VERSION", default=None,
+        help="also run Symbolic QED on a design version (e.g. A.v3); slow",
+    )
+    parser.add_argument(
+        "--mode", default="eddiv", choices=["eddiv", "eddiv_cf", "eddiv_mem"],
+        help="QED mode for --qed (default eddiv)",
+    )
+    parser.add_argument(
+        "--bound", type=int, default=8, help="QED max bound (default 8)"
+    )
+    parser.add_argument(
+        "--focus", nargs="*", default=["LDI", "MOV", "INC", "ADD"],
+        help="focus opcodes for --qed",
+    )
+    parser.add_argument(
+        "--dense", action="store_true",
+        help="use the dense per-bound schedule for --qed instead of one query",
+    )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="write the JSON report to this file (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    runs = run_counter_bench(args.max_bound)
+    if args.qed:
+        runs.extend(
+            run_qed_bench(args.qed, args.mode, args.bound, args.focus, args.dense)
+        )
+
+    report = {"runs": runs}
+    text = json.dumps(report, indent=2)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as stream:
+            stream.write(text + "\n")
+        print(f"wrote {args.json_out} ({len(runs)} runs)")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

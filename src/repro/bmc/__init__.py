@@ -1,24 +1,35 @@
 """Bounded model checking engine.
 
 The engine follows the classical BMC recipe [Clarke 01] that commercial tools
-such as the Onespin engine used in the paper implement:
+such as the Onespin engine used in the paper implement, with the incremental
+refinement those engines rely on to reach deep bounds:
 
-1. unroll the design's transition relation for ``k`` time-frames,
+1. unroll the design's transition relation frame by frame into a shared AIG,
 2. constrain frame 0 to the initial state and every frame to the
-   environmental assumptions,
-3. assert the negation of the safety property at frame ``k``,
-4. hand the resulting CNF to a SAT solver,
-5. on SAT, decode the model into a counterexample trace; on UNSAT, increase
-   ``k`` until the bound limit is reached.
+   environmental assumptions (permanent unit clauses),
+3. per bound ``k``, assert "the property fails at some not-yet-proven frame
+   below ``k``" behind a fresh activation literal and solve under that single
+   assumption,
+4. on SAT, decode the model into a counterexample trace; on UNSAT, retire the
+   activation literal, record the window's frames as proven safe, and grow
+   the *same* solver instance to the next bound -- learned clauses, variable
+   activities and the encoded frames all carry over.
 
 The public entry points are :class:`BMCProblem` / :class:`BoundedModelChecker`
-and the :class:`CounterexampleTrace` they produce.
+and the :class:`CounterexampleTrace` they produce; :class:`BoundStats` exposes
+the per-bound solver work so the incremental reuse is measurable.
 """
 
 from repro.bmc.property import Assumption, SafetyProperty
 from repro.bmc.unroller import Unroller, UnrolledFrame
 from repro.bmc.trace import CounterexampleTrace
-from repro.bmc.engine import BMCProblem, BMCResult, BMCStatus, BoundedModelChecker
+from repro.bmc.engine import (
+    BMCProblem,
+    BMCResult,
+    BMCStatus,
+    BoundStats,
+    BoundedModelChecker,
+)
 
 __all__ = [
     "Assumption",
@@ -29,5 +40,6 @@ __all__ = [
     "BMCProblem",
     "BMCResult",
     "BMCStatus",
+    "BoundStats",
     "BoundedModelChecker",
 ]

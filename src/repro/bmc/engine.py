@@ -1,9 +1,35 @@
 """The bounded model checking loop.
 
 :class:`BoundedModelChecker` searches for a violation of a safety property
-within a bounded number of cycles, incrementing the bound one frame at a
-time.  Each bound produces a fresh CNF (the AIG is shared across bounds, so
-only the new frame's logic is re-encoded into clauses each iteration).
+within a bounded number of cycles, walking a schedule of increasing bounds.
+The search is *genuinely incremental*: one :class:`~repro.expr.cnfgen.CNFBuilder`
+and one :class:`~repro.sat.solver.CDCLSolver` stay alive for the whole run.
+
+Per bound ``k`` the engine
+
+1. unrolls only the time-frames that do not exist yet and Tseitin-encodes
+   just their logic on top of the shared node-to-variable map (frames encoded
+   for earlier bounds are never re-encoded),
+2. adds the environmental assumptions of the new frames as permanent unit
+   clauses (they hold at every bound),
+3. builds a *violation window* -- "the property fails at some frame in
+   ``[w, k)``", where ``w`` is the first frame not yet proven safe -- and
+   guards it behind a fresh activation literal ``a_k`` via the clause
+   ``(-a_k OR violated)``,
+4. asks the shared solver for a model under the assumption ``a_k``.
+
+On UNSAT the activation literal is retired with the permanent unit ``-a_k``,
+and -- because the earlier bounds already proved no trace violates the
+property before ``w`` -- every frame in the window is now known safe in *all*
+traces, so ``property@frame`` is asserted permanently and strengthens later
+queries.  Learned clauses are implied by the clause database alone (never by
+the per-call assumptions), so they carry across bounds; :class:`BMCResult`
+reports the per-bound counts so the reuse is observable.
+
+The window formulation also makes sparse ``bound_schedule``s sound: a
+schedule of ``[4, 8]`` checks frames ``0..3`` in the first query and frames
+``4..7`` in the second, instead of silently skipping the frames between the
+scheduled bounds.
 """
 
 from __future__ import annotations
@@ -15,11 +41,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bmc.property import Assumption, SafetyProperty
 from repro.bmc.trace import CounterexampleTrace, property_holds_at, replay_inputs
-from repro.bmc.unroller import Unroller
+from repro.bmc.unroller import SYMBOLIC, Unroller
 from repro.expr.cnfgen import CNFBuilder
 from repro.rtl.design import Design
 from repro.sat.cnf import CNF
-from repro.sat.solver import CDCLSolver
+from repro.sat.solver import CDCLSolver, SolverResult
 
 
 class BMCStatus(Enum):
@@ -27,6 +53,32 @@ class BMCStatus(Enum):
 
     VIOLATION = "violation"
     NO_VIOLATION_WITHIN_BOUND = "no_violation_within_bound"
+
+
+@dataclass
+class BoundStats:
+    """Solver work and formula growth of one bound's query."""
+
+    bound: int
+    #: First frame of the violation window ( == bound - 1 for a dense
+    #: schedule past the property's start cycle).
+    window_start: int
+    runtime_seconds: float
+    #: "sat", "unsat", "unknown", or "skipped" (no query was needed because
+    #: the property is not enforced yet at this bound).
+    verdict: str
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    #: Clauses learned while answering this bound's query.
+    learned_clauses: int = 0
+    #: Learned clauses alive in the shared database after this bound --
+    #: i.e. the clauses the *next* bound starts from.  A growing number
+    #: here is the signature of cross-bound reuse.
+    learned_clauses_carried: int = 0
+    #: Formula growth caused by this bound (new frames + window encoding).
+    new_variables: int = 0
+    new_clauses: int = 0
 
 
 @dataclass
@@ -39,6 +91,7 @@ class BMCResult:
     runtime_seconds: float
     counterexample: Optional[CounterexampleTrace] = None
     per_bound_runtime: List[float] = field(default_factory=list)
+    per_bound_stats: List[BoundStats] = field(default_factory=list)
     num_sat_variables: int = 0
     num_sat_clauses: int = 0
 
@@ -52,24 +105,61 @@ class BMCResult:
         """Length (in cycles) of the counterexample (0 when none)."""
         return self.counterexample.length if self.counterexample else 0
 
+    @property
+    def total_conflicts(self) -> int:
+        """Conflicts summed over every bound's query."""
+        return sum(stats.conflicts for stats in self.per_bound_stats)
+
+    @property
+    def total_learned_clauses(self) -> int:
+        """Clauses learned across the whole run."""
+        return sum(stats.learned_clauses for stats in self.per_bound_stats)
+
+    @property
+    def learned_clauses_carried(self) -> int:
+        """Learned clauses alive in the solver after the final bound."""
+        if not self.per_bound_stats:
+            return 0
+        return self.per_bound_stats[-1].learned_clauses_carried
+
+    @property
+    def learned_clauses_reused(self) -> int:
+        """Learned clauses each query inherited from earlier bounds, summed.
+
+        Zero for a single-bound run or a run that never reuses anything;
+        strictly positive as soon as one query starts from a predecessor's
+        learned clauses.
+        """
+        reused = 0
+        previous = 0
+        for stats in self.per_bound_stats:
+            if stats.verdict != "skipped":
+                reused += previous
+            previous = stats.learned_clauses_carried
+        return reused
+
 
 @dataclass
 class BMCProblem:
     """A design plus the property and assumptions to check.
 
-    ``violation_mode`` selects the per-bound encoding:
+    The engine always uses the windowed incremental encoding: per scheduled
+    bound it asks for a violation at any not-yet-proven frame below the
+    bound, so the query granularity is controlled entirely by
+    ``bound_schedule``.  A dense schedule (the default ``1..max_bound``)
+    checks one new frame per query and yields minimal counterexamples (the
+    textbook "first violation" loop); a single-entry schedule ``[k]`` turns
+    the whole run into one SAT query covering every frame ("any violation",
+    how a commercial engine is typically invoked); sparse schedules fold the
+    skipped frames into the next query's window rather than silently
+    assuming them safe.
 
-    * ``"first"`` -- the property is assumed to hold on every frame before
-      the last one and must be violated exactly at the last frame; bounds are
-      explored incrementally (the textbook loop).
-    * ``"any"`` -- a single query per bound asks for a violation at *any*
-      frame up to the bound.  Combined with a ``bound_schedule`` of one entry
-      this turns a whole run into one SAT call, which is how the evaluation
-      campaign keeps the pure-Python backend within the runtimes the paper
-      reports for the commercial engine.
+    ``violation_mode`` (``"first"``/``"any"``) is retained for API
+    compatibility and as a label of intent -- it no longer changes the
+    encoding, which is determined by the schedule alone.
 
     ``bound_schedule`` optionally replaces the default ``1..max_bound``
-    progression with an explicit list of bounds to try.
+    progression with an explicit (strictly increasing) list of bounds.
     """
 
     design: Design
@@ -91,6 +181,13 @@ class BMCProblem:
                 raise ValueError("bound_schedule must not be empty")
             if any(b < 1 for b in self.bound_schedule):
                 raise ValueError("bounds must be positive")
+            if any(
+                later <= earlier
+                for earlier, later in zip(
+                    self.bound_schedule, list(self.bound_schedule)[1:]
+                )
+            ):
+                raise ValueError("bound_schedule must be strictly increasing")
 
     def bounds(self) -> List[int]:
         """The sequence of bounds the engine will explore."""
@@ -107,17 +204,45 @@ class BoundedModelChecker:
         self._unroller = Unroller(
             problem.design, initial_state=problem.initial_state
         )
+        self._cnf = CNF()
+        self._builder = CNFBuilder(self._unroller.aig, self._cnf)
+        self._solver: Optional[CDCLSolver] = None
+        #: Number of clauses of ``self._cnf`` already handed to the solver.
+        self._clauses_fed = 0
+        #: Frames whose environmental constraints have been encoded.
+        self._frames_encoded = 0
+        #: Frames ``< self._proven_frames`` are known to satisfy the
+        #: property in every trace (by the chain of earlier UNSAT answers).
+        self._proven_frames = 0
 
     # ------------------------------------------------------------------
-    def _encode_bound(self, bound: int) -> tuple[CNF, CNFBuilder, int]:
-        """Build the CNF for a violation exactly at cycle ``bound - 1``."""
+    def _sync_solver(self) -> CDCLSolver:
+        """Create the solver on first use; afterwards feed it only the
+        clauses (and variables) added to the shared CNF since the last
+        sync."""
+        if self._solver is None:
+            self._solver = CDCLSolver(self._cnf)
+            self._clauses_fed = self._cnf.num_clauses
+            return self._solver
+        solver = self._solver
+        solver.ensure_num_vars(self._cnf.num_vars)
+        clauses = self._cnf.clauses
+        while self._clauses_fed < len(clauses):
+            solver.add_clause(clauses[self._clauses_fed])
+            self._clauses_fed += 1
+        return solver
+
+    def _encode_new_frames(self, bound: int) -> None:
+        """Unroll and constrain the frames ``[frames_encoded, bound)``.
+
+        Frame logic reaches the CNF lazily through the property/assumption
+        cones; what is added here eagerly are the environmental constraints,
+        which are permanent facts (they hold at every bound).
+        """
         problem = self.problem
         self._unroller.unroll(bound)
-        cnf = CNF()
-        builder = CNFBuilder(self._unroller.aig, cnf)
-
-        # Environmental constraints at every frame up to the bound.
-        for frame_index in range(bound):
+        builder = self._builder
+        for frame_index in range(self._frames_encoded, bound):
             frame = self._unroller.frames[frame_index]
             if problem.use_design_assumptions:
                 for literal in frame.assumption_bits.values():
@@ -128,65 +253,134 @@ class BoundedModelChecker:
                         assumption.expr, frame_index
                     )
                     builder.assert_literal(literal)
+        self._frames_encoded = bound
 
-        violation_frame = bound - 1
-        if violation_frame < problem.prop.start_cycle:
-            # The property is not yet enforced; encode an unsatisfiable query
-            # so the engine simply moves to the next bound.
-            builder.cnf.add_clause([])
-            return cnf, builder, violation_frame
-
-        if problem.violation_mode == "first":
-            # Property must hold on all earlier frames (we only look for the
-            # first violation, which also keeps counterexamples minimal) ...
-            for frame_index in range(problem.prop.start_cycle, bound - 1):
-                literal = self._unroller.blast_bit_at_frame(
-                    problem.prop.expr, frame_index
+    def _encode_window(self, window_start: int, bound: int) -> int:
+        """Encode "violated at some frame in ``[window_start, bound)``"
+        behind a fresh activation variable; return that variable."""
+        aig = self._unroller.aig
+        builder = self._builder
+        violated_somewhere = aig.or_many(
+            aig.negate(
+                self._unroller.blast_bit_at_frame(
+                    self.problem.prop.expr, frame_index
                 )
-                builder.assert_literal(literal)
-            # ... and be violated at the last frame.
+            )
+            for frame_index in range(window_start, bound)
+        )
+        activation_var = builder.new_activation_var()
+        builder.assert_literal_if(violated_somewhere, activation_var)
+        return activation_var
+
+    def _retire_window(self, activation_var: int, window_start: int, bound: int) -> None:
+        """After an UNSAT answer: disable the window clause for good and
+        promote the window frames to proven-safe facts."""
+        builder = self._builder
+        self._cnf.add_unit(-activation_var)
+        for frame_index in range(window_start, bound):
             literal = self._unroller.blast_bit_at_frame(
-                problem.prop.expr, violation_frame
+                self.problem.prop.expr, frame_index
             )
-            builder.assert_literal(self._unroller.aig.negate(literal))
-        else:
-            # A violation at any frame up to the bound.
-            aig = self._unroller.aig
-            violated_somewhere = aig.or_many(
-                aig.negate(
-                    self._unroller.blast_bit_at_frame(
-                        problem.prop.expr, frame_index
-                    )
-                )
-                for frame_index in range(problem.prop.start_cycle, bound)
-            )
-            builder.assert_literal(violated_somewhere)
-        return cnf, builder, violation_frame
+            builder.assert_literal(literal)
+        self._proven_frames = bound
 
     def _extract_inputs(
-        self, builder: CNFBuilder, model: List[bool], bound: int
+        self, model: List[bool], bound: int
     ) -> List[Dict[str, int]]:
-        """Read back the input values the solver chose for each frame."""
+        """Read back the input values the solver chose for each frame.
+
+        Input bits without a CNF variable were outside every encoded cone
+        (unconstrained) and default to 0.
+        """
         inputs: List[Dict[str, int]] = []
         for frame_index in range(bound):
             frame = self._unroller.frames[frame_index]
-            frame_inputs: Dict[str, int] = {}
-            for name, bits in frame.inputs.items():
-                value = 0
-                for bit_index, literal in enumerate(bits):
-                    node = self._unroller.aig.lit_node(literal)
-                    cnf_var = builder._node_var.get(node)
-                    if cnf_var is None:
-                        bit_value = False  # unconstrained input bit
-                    else:
-                        bit_value = model[cnf_var]
-                    if self._unroller.aig.lit_inverted(literal):
-                        bit_value = not bit_value
-                    if bit_value:
-                        value |= 1 << bit_index
-                frame_inputs[name] = value
-            inputs.append(frame_inputs)
+            inputs.append(
+                {
+                    name: self._model_bits_value(model, bits)
+                    for name, bits in frame.inputs.items()
+                }
+            )
         return inputs
+
+    def _model_bits_value(self, model: List[bool], bits) -> int:
+        """Decode a little-endian AIG literal vector under *model*."""
+        aig = self._unroller.aig
+        builder = self._builder
+        value = 0
+        for bit_index, literal in enumerate(bits):
+            cnf_var = builder.node_var(aig.lit_node(literal))
+            bit_value = False if cnf_var is None else model[cnf_var]
+            if aig.lit_inverted(literal):
+                bit_value = not bit_value
+            if bit_value:
+                value |= 1 << bit_index
+        return value
+
+    def _extract_initial_state(self, model: List[bool]) -> Dict[str, int]:
+        """The replay seed: concrete overrides plus the solver's choice for
+        every symbolic start-state element.
+
+        Without this the replay starts from the reset values, which only
+        coincides with the model when the solver happens to pick them.
+        """
+        initial: Dict[str, int] = {}
+        for name, override in (self.problem.initial_state or {}).items():
+            if override != SYMBOLIC:
+                initial[name] = int(override)
+        for name, bits in self._unroller.symbolic_initial.items():
+            initial[name] = self._model_bits_value(model, bits)
+        return initial
+
+    def _violation_result(
+        self,
+        sat_result: SolverResult,
+        bound: int,
+        start_time: float,
+        per_bound: List[float],
+        per_bound_stats: List[BoundStats],
+    ) -> BMCResult:
+        problem = self.problem
+        assert sat_result.model is not None
+        input_sequence = self._extract_inputs(sat_result.model, bound)
+        trace = replay_inputs(
+            problem.design,
+            input_sequence,
+            problem.prop.expr,
+            problem.prop.name,
+            initial_state=self._extract_initial_state(sat_result.model),
+        )
+        # Locate the first violating cycle on the replayed trace and
+        # truncate there, so counterexample lengths are minimal for
+        # the sequence the solver chose.
+        first_violation = None
+        for cycle in range(problem.prop.start_cycle, trace.length):
+            if not property_holds_at(
+                problem.design, trace, problem.prop.expr, cycle
+            ):
+                first_violation = cycle
+                break
+        if first_violation is None:
+            raise AssertionError(
+                "BMC internal error: SAT model does not reproduce a "
+                f"violation of {problem.prop.name!r} within the bound"
+            )
+        if first_violation + 1 < trace.length:
+            trace.length = first_violation + 1
+            trace.inputs = trace.inputs[: trace.length]
+            trace.states = trace.states[: trace.length]
+            trace.outputs = trace.outputs[: trace.length]
+        return BMCResult(
+            status=BMCStatus.VIOLATION,
+            property_name=problem.prop.name,
+            bound_reached=bound,
+            runtime_seconds=time.perf_counter() - start_time,
+            counterexample=trace,
+            per_bound_runtime=per_bound,
+            per_bound_stats=per_bound_stats,
+            num_sat_variables=self._cnf.num_vars,
+            num_sat_clauses=self._cnf.num_clauses,
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> BMCResult:
@@ -194,57 +388,69 @@ class BoundedModelChecker:
         problem = self.problem
         start_time = time.perf_counter()
         per_bound: List[float] = []
-        last_vars = 0
-        last_clauses = 0
+        per_bound_stats: List[BoundStats] = []
 
         for bound in problem.bounds():
             bound_start = time.perf_counter()
-            cnf, builder, violation_frame = self._encode_bound(bound)
-            last_vars = cnf.num_vars
-            last_clauses = cnf.num_clauses
-            solver = CDCLSolver(cnf)
-            result = solver.solve()
-            per_bound.append(time.perf_counter() - bound_start)
+            vars_before = self._cnf.num_vars
+            clauses_before = self._cnf.num_clauses
+            self._encode_new_frames(bound)
 
-            if result.satisfiable:
-                assert result.model is not None
-                input_sequence = self._extract_inputs(builder, result.model, bound)
-                trace = replay_inputs(
-                    problem.design,
-                    input_sequence,
-                    problem.prop.expr,
-                    problem.prop.name,
-                )
-                # Locate the first violating cycle on the replayed trace and
-                # truncate there, so counterexample lengths are minimal for
-                # the sequence the solver chose.
-                first_violation = None
-                for cycle in range(problem.prop.start_cycle, trace.length):
-                    if not property_holds_at(
-                        problem.design, trace, problem.prop.expr, cycle
-                    ):
-                        first_violation = cycle
-                        break
-                if first_violation is None:
-                    raise AssertionError(
-                        "BMC internal error: SAT model does not reproduce a "
-                        f"violation of {problem.prop.name!r} within the bound"
+            window_start = max(self._proven_frames, problem.prop.start_cycle)
+            if window_start >= bound:
+                # The property is not enforced anywhere in the new frames
+                # (still before its start cycle): nothing to ask the solver.
+                elapsed = time.perf_counter() - bound_start
+                per_bound.append(elapsed)
+                per_bound_stats.append(
+                    BoundStats(
+                        bound=bound,
+                        window_start=window_start,
+                        runtime_seconds=elapsed,
+                        verdict="skipped",
+                        learned_clauses_carried=(
+                            self._solver.num_learned_clauses
+                            if self._solver
+                            else 0
+                        ),
+                        new_variables=self._cnf.num_vars - vars_before,
+                        new_clauses=self._cnf.num_clauses - clauses_before,
                     )
-                if first_violation + 1 < trace.length:
-                    trace.length = first_violation + 1
-                    trace.inputs = trace.inputs[: trace.length]
-                    trace.states = trace.states[: trace.length]
-                    trace.outputs = trace.outputs[: trace.length]
-                return BMCResult(
-                    status=BMCStatus.VIOLATION,
-                    property_name=problem.prop.name,
-                    bound_reached=bound,
-                    runtime_seconds=time.perf_counter() - start_time,
-                    counterexample=trace,
-                    per_bound_runtime=per_bound,
-                    num_sat_variables=last_vars,
-                    num_sat_clauses=last_clauses,
                 )
+                continue
+
+            activation_var = self._encode_window(window_start, bound)
+            solver = self._sync_solver()
+            result = solver.solve(assumptions=[activation_var])
+            if result.is_unsat:
+                self._retire_window(activation_var, window_start, bound)
+                self._sync_solver()
+
+            elapsed = time.perf_counter() - bound_start
+            per_bound.append(elapsed)
+            per_bound_stats.append(
+                BoundStats(
+                    bound=bound,
+                    window_start=window_start,
+                    runtime_seconds=elapsed,
+                    verdict=result.status.value,
+                    conflicts=result.stats.conflicts,
+                    decisions=result.stats.decisions,
+                    propagations=result.stats.propagations,
+                    learned_clauses=result.stats.learned_clauses,
+                    learned_clauses_carried=solver.num_learned_clauses,
+                    new_variables=self._cnf.num_vars - vars_before,
+                    new_clauses=self._cnf.num_clauses - clauses_before,
+                )
+            )
+
+            if result.is_sat:
+                return self._violation_result(
+                    result, bound, start_time, per_bound, per_bound_stats
+                )
+            # UNKNOWN (budget expiry) falls through like UNSAT but without
+            # retiring the window, so the frames stay unproven; the engine
+            # currently never sets a budget, so this is future-proofing.
 
         return BMCResult(
             status=BMCStatus.NO_VIOLATION_WITHIN_BOUND,
@@ -252,8 +458,9 @@ class BoundedModelChecker:
             bound_reached=problem.bounds()[-1],
             runtime_seconds=time.perf_counter() - start_time,
             per_bound_runtime=per_bound,
-            num_sat_variables=last_vars,
-            num_sat_clauses=last_clauses,
+            per_bound_stats=per_bound_stats,
+            num_sat_variables=self._cnf.num_vars,
+            num_sat_clauses=self._cnf.num_clauses,
         )
 
 

@@ -81,14 +81,22 @@ def replay_inputs(
     input_sequence: List[Dict[str, int]],
     property_expr: Optional[BV],
     property_name: str,
+    initial_state: Optional[Dict[str, int]] = None,
 ) -> CounterexampleTrace:
     """Re-simulate *design* under *input_sequence* and build a trace.
+
+    ``initial_state`` overrides the reset values of the named state elements
+    before the first cycle; the BMC engine passes the solver-chosen values of
+    symbolic start-state elements here, so the replay reproduces the model
+    even when the trace does not begin at the concrete reset state.
 
     The simulator's assumption checking is disabled: the SAT solver already
     guarantees the assumptions hold, and environmental constraints written
     over output names cannot be checked by the plain simulator namespace.
     """
     simulator = Simulator(design, check_assumptions=False)
+    for name, value in (initial_state or {}).items():
+        simulator.poke(name, value)
     states: List[Dict[str, int]] = []
     outputs: List[Dict[str, int]] = []
     for inputs in input_sequence:

@@ -53,6 +53,10 @@ class Unroller:
         self._initial_overrides: Dict[str, InitialState] = dict(initial_state or {})
         # State literals entering the *next* frame to be built.
         self._incoming_state: Optional[Dict[str, Bits]] = None
+        #: AIG input literals of the state elements that start symbolic;
+        #: consumers (counterexample extraction) read the solver's chosen
+        #: start state back through these.
+        self.symbolic_initial: Dict[str, Bits] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -69,6 +73,7 @@ class Unroller:
                     self.aig.add_input(f"{element.name}@init[{i}]")
                     for i in range(element.width)
                 ]
+                self.symbolic_initial[element.name] = bits[element.name]
             else:
                 value = element.reset if override is None else int(override)
                 bits[element.name] = blaster.constant_bits(element.width, value)

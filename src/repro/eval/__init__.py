@@ -27,6 +27,7 @@ from repro.eval.report import (
     detection_breakdown,
     format_table,
     runtime_statistics,
+    solver_reuse_statistics,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "detection_breakdown",
     "format_table",
     "runtime_statistics",
+    "solver_reuse_statistics",
 ]

@@ -120,6 +120,9 @@ class BugDetectionRecord:
     qed_runtime_seconds: float = 0.0
     qed_counterexample_cycles: int = 0
     qed_counterexample_instructions: int = 0
+    qed_solver_conflicts: int = 0
+    qed_learned_clauses: int = 0
+    qed_learned_clauses_reused: int = 0
     single_i_runtime_seconds: float = 0.0
     crs_detected: bool = False
     ocsfv_detected: bool = False
@@ -205,6 +208,9 @@ def _run_qed_feature(
     record.qed_runtime_seconds = result.runtime_seconds
     record.qed_counterexample_cycles = result.counterexample_cycles
     record.qed_counterexample_instructions = result.counterexample_instructions
+    record.qed_solver_conflicts = result.solver_conflicts
+    record.qed_learned_clauses = result.learned_clauses
+    record.qed_learned_clauses_reused = result.learned_clauses_reused
 
 
 def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:

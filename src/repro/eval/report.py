@@ -100,3 +100,20 @@ def runtime_statistics(values: Iterable[float]) -> Optional[Dict[str, float]]:
         "avg": sum(data) / len(data),
         "max": max(data),
     }
+
+
+def solver_reuse_statistics(campaign: CampaignResult) -> Dict[str, int]:
+    """Aggregate SAT-solver work of the campaign's Symbolic QED runs.
+
+    Complements the Table 2 runtimes with the incremental-engine counters:
+    total conflicts, clauses learned, and how many learned clauses later
+    bounds inherited from earlier ones (non-zero only when the incremental
+    reuse actually kicks in, i.e. for multi-bound schedules).
+    """
+    return {
+        "conflicts": sum(r.qed_solver_conflicts for r in campaign.records),
+        "learned_clauses": sum(r.qed_learned_clauses for r in campaign.records),
+        "learned_clauses_reused": sum(
+            r.qed_learned_clauses_reused for r in campaign.records
+        ),
+    }

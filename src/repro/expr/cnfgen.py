@@ -15,7 +15,13 @@ from repro.sat.cnf import CNF
 
 
 class CNFBuilder:
-    """Incrementally translate AIG literals into CNF literals."""
+    """Incrementally translate AIG literals into CNF literals.
+
+    The builder is designed to stay alive across successive queries over a
+    growing AIG (e.g. the per-bound unrollings of the BMC engine): every call
+    encodes only the cone that has not been translated yet, on top of the
+    existing node-to-variable map.
+    """
 
     def __init__(self, aig: AIG, cnf: Optional[CNF] = None) -> None:
         self.aig = aig
@@ -31,6 +37,15 @@ class CNFBuilder:
             self._true_var = self.cnf.new_var()
             self.cnf.add_unit(self._true_var)
         return self._true_var
+
+    def node_var(self, node: int) -> Optional[int]:
+        """The CNF variable already allocated for AIG node *node*, if any.
+
+        Unlike :meth:`node_variable` this never allocates; it is the public
+        read-only view clients (e.g. counterexample extraction) should use
+        instead of reaching into the internal map.
+        """
+        return self._node_var.get(node)
 
     def node_variable(self, node: int) -> int:
         """Return (allocating if needed) the CNF variable for AIG node *node*."""
@@ -114,6 +129,25 @@ class CNFBuilder:
     def assert_literal(self, aig_literal: int) -> None:
         """Add a unit clause asserting *aig_literal* is true."""
         self.cnf.add_unit(self.literal(aig_literal))
+
+    def new_activation_var(self) -> int:
+        """Allocate a fresh CNF variable to be used as an activation literal.
+
+        The variable is unconstrained: assert it via solver assumptions to
+        enable the clauses guarded by it, or add its negation as a unit to
+        retire them permanently.
+        """
+        return self.cnf.new_var()
+
+    def assert_literal_if(self, aig_literal: int, activation_var: int) -> None:
+        """Assert *aig_literal* guarded by *activation_var*.
+
+        Adds the clause ``(-activation_var OR literal)``, so the constraint
+        is active only while the activation variable is assumed true.  This
+        is how the BMC engine retracts per-bound constraints without
+        discarding the solver.
+        """
+        self.cnf.add_clause([-activation_var, self.literal(aig_literal)])
 
     def assert_all(self, aig_literals: Iterable[int]) -> None:
         """Assert every literal in *aig_literals*."""

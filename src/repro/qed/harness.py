@@ -62,6 +62,26 @@ class QEDCheckResult:
         return self.bmc_result.runtime_seconds
 
     @property
+    def per_bound_stats(self):
+        """Per-bound solver statistics (see :class:`repro.bmc.engine.BoundStats`)."""
+        return self.bmc_result.per_bound_stats
+
+    @property
+    def solver_conflicts(self) -> int:
+        """Total SAT conflicts across every bound of the run."""
+        return self.bmc_result.total_conflicts
+
+    @property
+    def learned_clauses(self) -> int:
+        """Clauses learned by the shared solver across the whole run."""
+        return self.bmc_result.total_learned_clauses
+
+    @property
+    def learned_clauses_reused(self) -> int:
+        """Learned clauses inherited by later bounds from earlier ones."""
+        return self.bmc_result.learned_clauses_reused
+
+    @property
     def counterexample_cycles(self) -> int:
         """Counterexample length in clock cycles (0 if none)."""
         return self.counterexample.length_cycles if self.counterexample else 0

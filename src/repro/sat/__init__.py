@@ -17,7 +17,13 @@ The public entry point used by the rest of the library is
 """
 
 from repro.sat.cnf import CNF, Literal, neg, var_of, sign_of
-from repro.sat.solver import CDCLSolver, SolverResult, solve
+from repro.sat.solver import (
+    CDCLSolver,
+    SolverResult,
+    SolverStats,
+    SolverStatus,
+    solve,
+)
 from repro.sat.simplify import simplify_cnf
 
 __all__ = [
@@ -28,6 +34,8 @@ __all__ = [
     "sign_of",
     "CDCLSolver",
     "SolverResult",
+    "SolverStats",
+    "SolverStatus",
     "solve",
     "simplify_cnf",
 ]

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.bmc import BMCProblem, BMCStatus, BoundedModelChecker, SafetyProperty
+from repro.bmc import engine as engine_module
 from repro.bmc.engine import check_property
 from repro.bmc.property import Assumption
 from repro.bmc.unroller import SYMBOLIC, Unroller
 from repro.expr import BVConst, BVVar, mux
+from repro.expr.cnfgen import CNFBuilder
 from repro.rtl import Circuit, elaborate
+from repro.sat.solver import CDCLSolver
 
 
 def _counter_design(width: int = 4):
@@ -94,9 +97,107 @@ class TestEngine:
         with pytest.raises(ValueError):
             BMCProblem(design=design, prop=prop, violation_mode="sometimes")
 
+    def test_sparse_schedule_covers_skipped_frames(self):
+        # Regression: with the per-bound "property holds before the last
+        # frame" units, a sparse schedule of [2, 8] silently skipped the
+        # violation at frame 3 (count == 3); the windowed incremental
+        # encoding must find it.
+        design = _counter_design()
+        prop = SafetyProperty("never3", BVVar("count", 4).ne(BVConst(4, 3)))
+        problem = BMCProblem(
+            design=design,
+            prop=prop,
+            max_bound=8,
+            violation_mode="first",
+            bound_schedule=[2, 8],
+        )
+        result = BoundedModelChecker(problem).run()
+        assert result.status is BMCStatus.VIOLATION
+        # The window covers frames 2..7; the trace ends at whichever
+        # violation the solver picked (minimality is only guaranteed for
+        # dense schedules, where each window is a single frame).
+        trace = result.counterexample
+        assert 4 <= trace.length <= 8
+        assert trace.state_at(trace.length - 1, "count") == 3
+
+    def test_non_increasing_schedule_rejected(self):
+        design = _counter_design()
+        prop = SafetyProperty("p", BVVar("count", 4).ne(BVConst(4, 1)))
+        with pytest.raises(ValueError):
+            BMCProblem(design=design, prop=prop, bound_schedule=[4, 4])
+        with pytest.raises(ValueError):
+            BMCProblem(design=design, prop=prop, bound_schedule=[4, 2])
+
     def test_counterexample_waveform_rendering(self):
         design = _counter_design()
         prop = SafetyProperty("never2", BVVar("count", 4).ne(BVConst(4, 2)))
         result = check_property(design, prop, max_bound=6)
         summary = result.counterexample.summary(["count", "enable"])
         assert "count" in summary
+
+
+class TestIncrementalEngine:
+    """The engine must keep one solver and one CNF builder alive per run."""
+
+    @pytest.fixture
+    def construction_counters(self, monkeypatch):
+        counters = {"solver": 0, "builder": 0}
+
+        class CountingSolver(CDCLSolver):
+            def __init__(self, *args, **kwargs):
+                counters["solver"] += 1
+                super().__init__(*args, **kwargs)
+
+        class CountingBuilder(CNFBuilder):
+            def __init__(self, *args, **kwargs):
+                counters["builder"] += 1
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "CDCLSolver", CountingSolver)
+        monkeypatch.setattr(engine_module, "CNFBuilder", CountingBuilder)
+        return counters
+
+    def test_first_mode_uses_one_solver_and_builder(self, construction_counters):
+        design = _counter_design()
+        prop = SafetyProperty("never9", BVVar("count", 4).ne(BVConst(4, 9)))
+        problem = BMCProblem(
+            design=design, prop=prop, max_bound=6, violation_mode="first"
+        )
+        result = BoundedModelChecker(problem).run()
+        assert result.status is BMCStatus.NO_VIOLATION_WITHIN_BOUND
+        assert construction_counters["solver"] == 1
+        assert construction_counters["builder"] == 1
+
+    def test_violating_run_uses_one_solver_and_builder(self, construction_counters):
+        design = _counter_design()
+        prop = SafetyProperty("never3", BVVar("count", 4).ne(BVConst(4, 3)))
+        problem = BMCProblem(
+            design=design, prop=prop, max_bound=8, violation_mode="first"
+        )
+        result = BoundedModelChecker(problem).run()
+        assert result.status is BMCStatus.VIOLATION
+        assert construction_counters["solver"] == 1
+        assert construction_counters["builder"] == 1
+
+    def test_per_bound_stats_reported(self):
+        design = _counter_design()
+        prop = SafetyProperty("never9", BVVar("count", 4).ne(BVConst(4, 9)))
+        result = check_property(design, prop, max_bound=6)
+        stats = result.per_bound_stats
+        assert [s.bound for s in stats] == [1, 2, 3, 4, 5, 6]
+        assert all(s.verdict == "unsat" for s in stats)
+        # Dense schedule: each query checks exactly the one new frame.
+        assert [s.window_start for s in stats] == [0, 1, 2, 3, 4, 5]
+        # The learned-clause database is carried across bounds, never reset.
+        carried = [s.learned_clauses_carried for s in stats]
+        assert all(b >= a for a, b in zip(carried, carried[1:]))
+        assert result.total_conflicts == sum(s.conflicts for s in stats)
+        assert result.learned_clauses_carried == carried[-1]
+
+    def test_violation_stats_end_with_sat_verdict(self):
+        design = _counter_design()
+        prop = SafetyProperty("never3", BVVar("count", 4).ne(BVConst(4, 3)))
+        result = check_property(design, prop, max_bound=8)
+        assert result.per_bound_stats[-1].verdict == "sat"
+        assert all(s.verdict == "unsat" for s in result.per_bound_stats[:-1])
+        assert result.per_bound_stats[-1].bound == result.bound_reached

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sat import CNF, solve
-from repro.sat.solver import CDCLSolver, _luby
+from repro.sat.solver import CDCLSolver, SolverStatus, _luby
 
 
 class TestLuby:
@@ -107,23 +107,151 @@ class TestPigeonhole:
         assert result.stats.conflicts > 0
 
 
+def _php_cnf(holes: int) -> CNF:
+    cnf = CNF()
+    var = {}
+    for pigeon in range(holes + 1):
+        for hole in range(holes):
+            var[(pigeon, hole)] = cnf.new_var()
+    for pigeon in range(holes + 1):
+        cnf.add_clause([var[(pigeon, hole)] for hole in range(holes)])
+    for hole in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                cnf.add_clause([-var[(p1, hole)], -var[(p2, hole)]])
+    return cnf
+
+
 class TestConflictBudget:
     def test_budget_returns_unknown(self):
-        cnf = CNF()
-        var = {}
-        holes = 7
-        for pigeon in range(holes + 1):
-            for hole in range(holes):
-                var[(pigeon, hole)] = cnf.new_var()
-        for pigeon in range(holes + 1):
-            cnf.add_clause([var[(pigeon, hole)] for hole in range(holes)])
-        for hole in range(holes):
-            for p1 in range(holes + 1):
-                for p2 in range(p1 + 1, holes + 1):
-                    cnf.add_clause([-var[(p1, hole)], -var[(p2, hole)]])
-        solver = CDCLSolver(cnf)
+        solver = CDCLSolver(_php_cnf(7))
         result = solver.solve(max_conflicts=5)
         assert result.unknown
+        assert result.status is SolverStatus.UNKNOWN
+        # UNKNOWN is not a refutation: the legacy boolean is False, but the
+        # tri-state view must not report UNSAT.
+        assert not result.satisfiable
+        assert not result.is_unsat
+        assert not result.is_sat
+
+    def test_budget_is_per_call_not_cumulative(self):
+        # A second call with the same budget must get a full fresh budget;
+        # with the old cumulative comparison it would give up on its very
+        # first conflict.
+        solver = CDCLSolver(_php_cnf(6))
+        first = solver.solve(max_conflicts=5)
+        assert first.unknown
+        second = solver.solve(max_conflicts=5)
+        assert second.unknown
+        assert second.stats.conflicts > 1
+        assert solver.stats.conflicts >= first.stats.conflicts + second.stats.conflicts
+
+    def test_verdict_reachable_after_budget_expiry(self):
+        solver = CDCLSolver(_php_cnf(4))
+        assert solver.solve(max_conflicts=1).unknown
+        final = solver.solve()
+        assert final.is_unsat
+
+
+class TestIncrementalReuse:
+    def test_resolve_with_contradictory_assumptions(self):
+        # Regression: the first call's assumption decisions used to stay on
+        # the trail, so the second call could return a stale model instead
+        # of noticing the contradiction.
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        solver = CDCLSolver(cnf)
+        first = solver.solve(assumptions=[1, 2])
+        assert first.is_sat
+        assert first.value(1) and first.value(2)
+        second = solver.solve(assumptions=[-1, -2])
+        assert second.is_unsat
+        third = solver.solve(assumptions=[-1])
+        assert third.is_sat
+        assert not third.value(1) and third.value(2)
+
+    def test_unsat_under_assumptions_is_not_permanent(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-2, 3])
+        solver = CDCLSolver(cnf)
+        assert solver.solve(assumptions=[-1, -2]).is_unsat
+        after = solver.solve()
+        assert after.is_sat
+        assert cnf.evaluate(after.model)
+
+    def test_back_to_back_calls_return_consistent_models(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, -2])
+        cnf.add_clause([1, -2])
+        solver = CDCLSolver(cnf)
+        for _ in range(3):
+            result = solver.solve()
+            assert result.is_sat
+            assert cnf.evaluate(result.model)
+
+    def test_add_clause_between_solves_blocks_model(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2, 3])
+        solver = CDCLSolver(cnf)
+        seen = set()
+        # Enumerate all models by blocking each one; 7 assignments satisfy
+        # the single clause, the 8th call must report UNSAT.
+        for _ in range(7):
+            result = solver.solve()
+            assert result.is_sat
+            model = tuple(result.model[1:4])
+            assert model not in seen
+            seen.add(model)
+            solver.add_clause(
+                [-(v) if result.model[v] else v for v in range(1, 4)]
+            )
+        assert solver.solve().is_unsat
+        assert len(seen) == 7
+
+    def test_added_unit_propagates_immediately(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        solver = CDCLSolver(cnf)
+        assert solver.solve().is_sat
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result.is_sat
+        assert not result.value(1) and result.value(2)
+        solver.add_clause([-2])
+        assert solver.solve().is_unsat
+
+    def test_add_clause_with_new_variables_grows_solver(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        solver = CDCLSolver(cnf)
+        assert solver.solve().is_sat
+        solver.add_clause([3, 4])
+        solver.add_clause([-3])
+        result = solver.solve()
+        assert result.is_sat
+        assert solver.num_vars == 4
+        assert result.value(4)
+
+    def test_learned_clauses_survive_between_calls(self):
+        solver = CDCLSolver(_php_cnf(4))
+        first = solver.solve()
+        assert first.is_unsat
+        # A second identical query is answered from the poisoned database
+        # (level-0 conflict) without redoing the search.
+        second = solver.solve()
+        assert second.is_unsat
+        assert second.stats.conflicts == 0
+
+    def test_per_call_stats_are_deltas(self):
+        solver = CDCLSolver(_php_cnf(5))
+        first = solver.solve(max_conflicts=20)
+        second = solver.solve(max_conflicts=20)
+        total = solver.stats.conflicts
+        assert first.stats.conflicts <= 21
+        assert second.stats.conflicts <= 21
+        assert total == first.stats.conflicts + second.stats.conflicts
 
 
 def _brute_force(cnf: CNF) -> bool:
@@ -134,6 +262,37 @@ def _brute_force(cnf: CNF) -> bool:
         if cnf.evaluate(values):
             return True
     return False
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_incremental_reuse_matches_fresh_solves(data):
+    """One long-lived solver (clauses added and assumptions changed between
+    calls) must agree with a fresh solver on the same formula every time."""
+    num_vars = data.draw(st.integers(min_value=3, max_value=6))
+    rng = random.Random(data.draw(st.integers(min_value=0, max_value=10_000)))
+    cnf = CNF(num_vars)
+    incremental = CDCLSolver(cnf)
+    for _ in range(3):
+        for _ in range(rng.randint(1, 6)):
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, num_vars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            cnf.add_clause(clause)
+            incremental.add_clause(clause)
+        assumptions = [
+            rng.choice([1, -1]) * v
+            for v in rng.sample(range(1, num_vars + 1), rng.randint(0, 2))
+        ]
+        reused = incremental.solve(assumptions)
+        fresh = solve(cnf, assumptions)
+        assert reused.is_sat == fresh.is_sat
+        assert reused.is_unsat == fresh.is_unsat
+        if reused.is_sat:
+            assert cnf.evaluate(reused.model)
+            for assumption in assumptions:
+                assert reused.model[abs(assumption)] == (assumption > 0)
 
 
 @settings(max_examples=60, deadline=None)
