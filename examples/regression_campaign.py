@@ -3,14 +3,16 @@
 Runs the detection campaign for one representative bug per Symbolic QED
 feature plus the specification bug, together with the industrial-flow
 baselines, and prints the Fig. 8 / 9 / 10 style summary.  Pass ``--full`` to
-run every bug in the library (slow on the pure-Python SAT backend).
+run every bug in the library (slow on the pure-Python SAT backend) and
+``--workers N`` to fan the independent per-bug jobs out over N processes.
 
 Run with::
 
-    python examples/regression_campaign.py [--full]
+    python examples/regression_campaign.py [--full] [--workers N]
 """
 
-import sys
+import argparse
+import os
 
 from repro.eval.campaign import CampaignConfig, run_campaign
 from repro.eval.report import detection_breakdown
@@ -27,13 +29,22 @@ REPRESENTATIVE = (
 
 
 def main() -> None:
-    full = "--full" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run every bug in the library (slow)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=min(4, os.cpu_count() or 1),
+        help="process-pool size for the per-bug jobs",
+    )
+    args = parser.parse_args()
     config = CampaignConfig(
         arch=TINY_PROFILE,
-        bug_ids=None if full else REPRESENTATIVE,
+        bug_ids=None if args.full else REPRESENTATIVE,
         crs_config=CRSConfig(num_programs=25, program_length=22, seed=7),
     )
-    campaign = run_campaign(config)
+    campaign = run_campaign(config, workers=args.workers)
     print(
         f"campaign over {len(campaign.records)} bugs finished in "
         f"{campaign.wall_clock_seconds:.1f}s"

@@ -1,24 +1,34 @@
-"""Benchmark the incremental BMC engine and emit per-bound solver stats as JSON.
+"""Benchmark the BMC formula-reduction pipeline and track the perf trajectory.
 
-The output seeds the BENCH trajectory: every bound of every run records the
-solver work (conflicts, decisions, propagations), the learned-clause database
-carried into the next bound, and the formula growth caused by the newly
-unrolled frames.  Rising ``learned_clauses_carried`` with shrinking per-bound
-``new_clauses`` relative to the total is the signature of the incremental
-reuse working.
+Each run records wall-clock, solver work (conflicts, decisions, propagations),
+the learned-clause database carried across bounds, formula sizes, and the
+reduction achieved by each pipeline stage (AIG cone of influence, CNF
+preprocessing).  The default invocation writes ``BENCH_bmc.json`` at the repo
+root so the numbers are tracked across PRs; ``--check`` compares a fresh run
+against a committed baseline and fails on a >2x wall-clock regression, which
+is how CI gates the hot path.
+
+Profiles::
+
+    counter  -- synthetic counter designs only (seconds; no QED harness)
+    fast     -- counter + the Table-2 detection run (A.v3 EDDI-V) and the
+                clean-design soundness proof (B.v6); the CI profile
+    full     -- fast + the QED-mem detection run (A.v5, bound 9)
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_bmc.py                  # fast counter demo
+    PYTHONPATH=src python scripts/bench_bmc.py                   # fast -> BENCH_bmc.json
+    PYTHONPATH=src python scripts/bench_bmc.py --profile counter --json-out -
+    PYTHONPATH=src python scripts/bench_bmc.py --check BENCH_bmc.json
     PYTHONPATH=src python scripts/bench_bmc.py --qed A.v3 \\
-        --mode eddiv --bound 8 --focus LDI MOV INC ADD          # a real QED run
-    PYTHONPATH=src python scripts/bench_bmc.py --json-out stats.json
+        --mode eddiv --bound 8 --focus LDI MOV INC ADD           # ad-hoc QED run
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -26,10 +36,21 @@ from repro.bmc import BMCProblem, BMCResult, BoundedModelChecker, SafetyProperty
 from repro.expr import BVConst, BVVar, mux
 from repro.rtl import Circuit, elaborate
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_JSON_OUT = os.path.join(REPO_ROOT, "BENCH_bmc.json")
+
+#: A fresh run may be at most this many times slower than the baseline
+#: before ``--check`` fails (CI machines are noisy; 2x is the contract).
+REGRESSION_FACTOR = 2.0
+#: Runs faster than this (seconds) are exempt from the factor check --
+#: scheduling jitter dominates at that scale.
+REGRESSION_MIN_SECONDS = 0.5
+
 
 def _bound_stats_rows(result: BMCResult) -> List[Dict[str, object]]:
-    return [
-        {
+    rows: List[Dict[str, object]] = []
+    for stats in result.per_bound_stats:
+        row: Dict[str, object] = {
             "bound": stats.bound,
             "window_start": stats.window_start,
             "verdict": stats.verdict,
@@ -41,9 +62,24 @@ def _bound_stats_rows(result: BMCResult) -> List[Dict[str, object]]:
             "learned_clauses_carried": stats.learned_clauses_carried,
             "new_variables": stats.new_variables,
             "new_clauses": stats.new_clauses,
+            "cone_nodes": stats.cone_nodes,
+            "assumptions_asserted": stats.assumptions_asserted,
+            "assumptions_deferred": stats.assumptions_deferred,
+            "slab_clauses_before": stats.slab_clauses_before,
+            "slab_clauses_after": stats.slab_clauses_after,
         }
-        for stats in result.per_bound_stats
-    ]
+        if stats.preprocess is not None:
+            row["preprocess"] = {
+                "variables_eliminated": stats.preprocess.variables_eliminated,
+                "clauses_subsumed": stats.preprocess.clauses_subsumed,
+                "literals_strengthened": stats.preprocess.literals_strengthened,
+                "units_derived": stats.preprocess.units_derived,
+                "failed_literals": stats.preprocess.failed_literals,
+                "rounds": stats.preprocess.rounds,
+                "time_seconds": round(stats.preprocess.time_seconds, 6),
+            }
+        rows.append(row)
+    return rows
 
 
 def _summarise(name: str, result: BMCResult) -> Dict[str, object]:
@@ -59,6 +95,10 @@ def _summarise(name: str, result: BMCResult) -> Dict[str, object]:
         "total_learned_clauses": result.total_learned_clauses,
         "learned_clauses_carried": result.learned_clauses_carried,
         "learned_clauses_reused": result.learned_clauses_reused,
+        "variables_eliminated": result.variables_eliminated,
+        "clauses_subsumed": result.clauses_subsumed,
+        "preprocess_seconds": round(result.preprocess_seconds, 6),
+        "frames_proven": result.frames_proven,
         "per_bound": _bound_stats_rows(result),
     }
 
@@ -90,13 +130,16 @@ def run_counter_bench(max_bound: int) -> List[Dict[str, object]]:
     return runs
 
 
-def run_qed_bench(
+def _qed_run(
+    name: str,
     version: str,
     mode_name: str,
     bound: int,
     focus: Optional[List[str]],
-    dense: bool,
-) -> List[Dict[str, object]]:
+    *,
+    dense: bool = False,
+    expect_violation: Optional[bool] = None,
+) -> Dict[str, object]:
     from repro.isa.arch import TINY_PROFILE
     from repro.qed import QEDMode, SymbolicQED
 
@@ -109,12 +152,113 @@ def run_qed_bench(
         tracked_registers=(0,),
     )
     check = harness.check(max_bound=bound, single_query=not dense)
-    label = f"qed/{version}/{mode.value}" + ("/dense" if dense else "")
-    return [_summarise(label, check.bmc_result)]
+    if (
+        expect_violation is not None
+        and check.found_violation != expect_violation
+    ):
+        raise SystemExit(
+            f"bench run {name!r} produced the wrong verdict: "
+            f"found_violation={check.found_violation}, "
+            f"expected {expect_violation}"
+        )
+    return _summarise(name, check.bmc_result)
+
+
+def run_profile(profile: str, max_bound: int) -> List[Dict[str, object]]:
+    """The named bench profile as a list of run summaries."""
+    runs = run_counter_bench(max_bound)
+    if profile == "counter":
+        return runs
+    # Table-2 detection workload: interaction bug in A.v3 under the
+    # campaign's focus set.
+    runs.append(
+        _qed_run(
+            "detection/A.v3/eddiv",
+            "A.v3",
+            "eddiv",
+            8,
+            ["LDI", "MOV", "INC", "ADD"],
+            expect_violation=True,
+        )
+    )
+    # Clean-design soundness: the UNSAT proof that dominated PR-1 wall-clock.
+    runs.append(
+        _qed_run(
+            "soundness/B.v6/eddiv",
+            "B.v6",
+            "eddiv",
+            6,
+            ["LDI", "MOV", "INC", "ADD", "STA", "LDA"],
+            expect_violation=False,
+        )
+    )
+    if profile == "full":
+        runs.append(
+            _qed_run(
+                "detection/A.v5/eddiv_mem",
+                "A.v5",
+                "eddiv_mem",
+                9,
+                None,
+                expect_violation=True,
+            )
+        )
+    return runs
+
+
+def check_regression(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    baseline_name: str = "baseline",
+) -> "tuple[List[str], int]":
+    """Compare *report* against the already-loaded *baseline* report.
+
+    The caller loads the baseline BEFORE writing the fresh report so that
+    ``--check`` pointed at the default output path compares against the
+    committed numbers, not the file just written.  Returns ``(failures,
+    compared)``: the failure messages and how many runs had a baseline
+    entry to compare against.
+    """
+    baseline_runs = {run["name"]: run for run in baseline.get("runs", [])}
+    failures: List[str] = []
+    compared = 0
+    for run in report["runs"]:
+        name = run["name"]
+        old = baseline_runs.get(name)
+        if old is None:
+            continue  # new benchmark, nothing to compare against
+        compared += 1
+        if run["status"] != old["status"]:
+            failures.append(
+                f"{name}: verdict changed {old['status']} -> {run['status']}"
+            )
+            continue
+        old_seconds = float(old["runtime_seconds"])
+        new_seconds = float(run["runtime_seconds"])
+        limit = max(
+            REGRESSION_FACTOR * old_seconds, REGRESSION_MIN_SECONDS
+        )
+        if new_seconds > limit:
+            failures.append(
+                f"{name}: {new_seconds:.3f}s vs baseline "
+                f"{old_seconds:.3f}s (limit {limit:.3f}s)"
+            )
+    if compared == 0:
+        # A gate that compared nothing must not pass: run renames or a
+        # corrupted baseline would otherwise silently disable the check.
+        failures.append(
+            f"no run in this report matches any baseline entry of "
+            f"{baseline_name} -- the regression gate compared nothing"
+        )
+    return failures, compared
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", default="fast", choices=["counter", "fast", "full"],
+        help="benchmark profile (default fast; CI runs fast)",
+    )
     parser.add_argument(
         "--max-bound", type=int, default=16,
         help="bound for the counter demo runs (default 16)",
@@ -139,25 +283,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="use the dense per-bound schedule for --qed instead of one query",
     )
     parser.add_argument(
-        "--json-out", default=None,
-        help="write the JSON report to this file (default: stdout)",
+        "--json-out", default=DEFAULT_JSON_OUT,
+        help="write the JSON report here ('-' for stdout; "
+        "default: BENCH_bmc.json at the repo root)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a baseline BENCH_bmc.json and exit non-zero "
+        f"on a >{REGRESSION_FACTOR:g}x wall-clock regression",
     )
     args = parser.parse_args(argv)
 
-    runs = run_counter_bench(args.max_bound)
+    # Load the baseline up front: --check may point at the same path the
+    # fresh report is about to overwrite (the default json-out).
+    baseline = None
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as stream:
+            baseline = json.load(stream)
+
+    runs = run_profile(args.profile, args.max_bound)
     if args.qed:
-        runs.extend(
-            run_qed_bench(args.qed, args.mode, args.bound, args.focus, args.dense)
+        runs.append(
+            _qed_run(
+                f"qed/{args.qed}/{args.mode}" + ("/dense" if args.dense else ""),
+                args.qed,
+                args.mode,
+                args.bound,
+                args.focus,
+                dense=args.dense,
+            )
         )
 
-    report = {"runs": runs}
+    report = {"profile": args.profile, "runs": runs}
     text = json.dumps(report, indent=2)
-    if args.json_out:
+    if args.json_out == "-":
+        print(text)
+    else:
         with open(args.json_out, "w", encoding="utf-8") as stream:
             stream.write(text + "\n")
         print(f"wrote {args.json_out} ({len(runs)} runs)")
-    else:
-        print(text)
+
+    if baseline is not None:
+        failures, compared = check_regression(report, baseline, args.check)
+        if failures:
+            print("PERFORMANCE REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"regression check OK ({compared} runs within budget)")
     return 0
 
 

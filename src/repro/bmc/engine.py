@@ -5,13 +5,43 @@ within a bounded number of cycles, walking a schedule of increasing bounds.
 The search is *genuinely incremental*: one :class:`~repro.expr.cnfgen.CNFBuilder`
 and one :class:`~repro.sat.solver.CDCLSolver` stay alive for the whole run.
 
+Pipeline stages
+===============
+
+Every query the solver answers has passed through the full formula-reduction
+pipeline; per bound the stages are:
+
+1. **AIG rewrite** -- the unroller blasts the new time-frames into the shared
+   :class:`~repro.expr.aig.AIG`, where constant folding, structural hashing
+   and local two-level rewriting (contradiction, absorption, substitution,
+   shared-child merging) shrink the graph as it is built.
+2. **Cone of influence** -- only the cone of the violation-window roots (plus
+   the environmental assumptions whose support intersects it, computed via
+   :meth:`~repro.expr.aig.AIG.cone_inputs` to a fixpoint) is carried further;
+   frame outputs and assumptions outside the cone are never encoded.
+3. **Tseitin** -- :class:`~repro.expr.cnfgen.CNFBuilder` translates exactly
+   the not-yet-encoded part of that cone on top of the shared
+   node-to-variable map.
+4. **CNF preprocessing** -- the newly encoded clause slab is reduced by
+   :func:`repro.sat.preprocess.preprocess` (bounded variable elimination,
+   subsumption, self-subsuming resolution, failed-literal probing) with the
+   *frozen* set protecting activation literals, input/frame-interface
+   variables and the window roots, so it composes with incrementality.
+5. **Incremental solve** -- the reduced slab is fed to the long-lived
+   :class:`~repro.sat.solver.CDCLSolver` and the window is solved under an
+   activation-literal assumption; learned clauses carry across bounds.
+
+Window encoding
+===============
+
 Per bound ``k`` the engine
 
 1. unrolls only the time-frames that do not exist yet and Tseitin-encodes
    just their logic on top of the shared node-to-variable map (frames encoded
    for earlier bounds are never re-encoded),
-2. adds the environmental assumptions of the new frames as permanent unit
-   clauses (they hold at every bound),
+2. adds the environmental assumptions of the new frames whose support
+   intersects the property cone as permanent unit clauses (they hold at
+   every bound),
 3. builds a *violation window* -- "the property fails at some frame in
    ``[w, k)``", where ``w`` is the first frame not yet proven safe -- and
    guards it behind a fresh activation literal ``a_k`` via the clause
@@ -37,7 +67,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bmc.property import Assumption, SafetyProperty
 from repro.bmc.trace import CounterexampleTrace, property_holds_at, replay_inputs
@@ -45,6 +75,12 @@ from repro.bmc.unroller import SYMBOLIC, Unroller
 from repro.expr.cnfgen import CNFBuilder
 from repro.rtl.design import Design
 from repro.sat.cnf import CNF
+from repro.sat.preprocess import (
+    EliminationRecord,
+    PreprocessStats,
+    extend_model,
+    preprocess,
+)
 from repro.sat.solver import CDCLSolver, SolverResult
 
 
@@ -76,9 +112,32 @@ class BoundStats:
     #: i.e. the clauses the *next* bound starts from.  A growing number
     #: here is the signature of cross-bound reuse.
     learned_clauses_carried: int = 0
-    #: Formula growth caused by this bound (new frames + window encoding).
+    #: Formula growth caused by this bound (new frames + window encoding),
+    #: measured *after* preprocessing reduced the slab.
     new_variables: int = 0
     new_clauses: int = 0
+    #: AIG nodes in the cone of influence of this bound's window roots.
+    cone_nodes: int = 0
+    #: Environmental assumptions asserted (in the cone) vs. deferred.
+    assumptions_asserted: int = 0
+    assumptions_deferred: int = 0
+    #: Clause count of the newly encoded slab before/after preprocessing.
+    slab_clauses_before: int = 0
+    slab_clauses_after: int = 0
+    #: CNF preprocessing work on this bound's slab (see
+    #: :class:`repro.sat.preprocess.PreprocessStats`); ``None`` when
+    #: preprocessing was disabled or skipped.
+    preprocess: Optional[PreprocessStats] = None
+
+    @property
+    def variables_eliminated(self) -> int:
+        """Variables removed from this bound's slab by preprocessing."""
+        return self.preprocess.variables_eliminated if self.preprocess else 0
+
+    @property
+    def clauses_subsumed(self) -> int:
+        """Clauses removed from this bound's slab by subsumption."""
+        return self.preprocess.clauses_subsumed if self.preprocess else 0
 
 
 @dataclass
@@ -138,6 +197,44 @@ class BMCResult:
             previous = stats.learned_clauses_carried
         return reused
 
+    @property
+    def variables_eliminated(self) -> int:
+        """Variables removed by CNF preprocessing across all bounds."""
+        return sum(s.variables_eliminated for s in self.per_bound_stats)
+
+    @property
+    def clauses_subsumed(self) -> int:
+        """Clauses removed by subsumption across all bounds."""
+        return sum(s.clauses_subsumed for s in self.per_bound_stats)
+
+    @property
+    def preprocess_seconds(self) -> float:
+        """Wall-clock spent inside CNF preprocessing across all bounds."""
+        return sum(
+            s.preprocess.time_seconds
+            for s in self.per_bound_stats
+            if s.preprocess is not None
+        )
+
+    @property
+    def frames_proven(self) -> int:
+        """Frames proven safe in every trace by the chain of UNSAT windows.
+
+        This is the depth metric of conflict-budget ablations: under a fixed
+        ``max_conflicts_per_query`` a smaller formula lets the engine retire
+        windows (and therefore prove frames) deeper before the budget bites.
+
+        An UNKNOWN bound does not cap the metric: its unproven frames fold
+        into the next window (``window_start`` stays put), so a later UNSAT
+        answer retires them too -- ``[unsat@2, unknown@4, unsat@6]`` proves
+        all six frames.
+        """
+        proven = 0
+        for stats in self.per_bound_stats:
+            if stats.verdict in ("unsat", "skipped"):
+                proven = stats.bound
+        return proven
+
 
 @dataclass
 class BMCProblem:
@@ -160,6 +257,20 @@ class BMCProblem:
 
     ``bound_schedule`` optionally replaces the default ``1..max_bound``
     progression with an explicit (strictly increasing) list of bounds.
+
+    ``preprocess`` runs the SatELite-style CNF preprocessor on every newly
+    encoded clause slab before it reaches the solver (sound under
+    incrementality: interface variables are frozen).  ``coi_assumptions``
+    defers environmental assumptions whose input support is disjoint from
+    the property cone: dropping constraints only widens the search space,
+    so UNSAT verdicts stay valid, and a SAT answer is *provisional* -- the
+    engine then asserts every deferred assumption and re-solves, so the
+    violation it reports is consistent with the full environment (a
+    deferred assumption cannot influence the property cone, but it can
+    forbid the trace the solver picked, or jointly forbid all traces).
+    ``max_conflicts_per_query`` bounds the solver effort per bound (the
+    query answers UNKNOWN when exhausted), which is how the conflict-budget
+    ablations measure reachable depth.
     """
 
     design: Design
@@ -170,6 +281,9 @@ class BMCProblem:
     use_design_assumptions: bool = True
     violation_mode: str = "first"
     bound_schedule: Optional[Sequence[int]] = None
+    preprocess: bool = True
+    coi_assumptions: bool = True
+    max_conflicts_per_query: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_bound < 1:
@@ -209,11 +323,23 @@ class BoundedModelChecker:
         self._solver: Optional[CDCLSolver] = None
         #: Number of clauses of ``self._cnf`` already handed to the solver.
         self._clauses_fed = 0
+        #: Variables known to the solver after the last sync; everything at
+        #: or below this index may be watched by solver clauses and is
+        #: therefore frozen for slab preprocessing.
+        self._vars_fed = 0
         #: Frames whose environmental constraints have been encoded.
         self._frames_encoded = 0
         #: Frames ``< self._proven_frames`` are known to satisfy the
         #: property in every trace (by the chain of earlier UNSAT answers).
         self._proven_frames = 0
+        #: Input-node support of everything asserted for the property so
+        #: far, and the environmental assumptions still waiting for their
+        #: support to intersect it (cone-of-influence filtering).
+        self._support: Set[int] = set()
+        self._pending_assumptions: List[Tuple[int, Optional[Set[int]]]] = []
+        #: Cumulative reconstruction stack of preprocessing-eliminated
+        #: variables (see :func:`repro.sat.preprocess.extend_model`).
+        self._elim_stack: List[EliminationRecord] = []
 
     # ------------------------------------------------------------------
     def _sync_solver(self) -> CDCLSolver:
@@ -223,6 +349,7 @@ class BoundedModelChecker:
         if self._solver is None:
             self._solver = CDCLSolver(self._cnf)
             self._clauses_fed = self._cnf.num_clauses
+            self._vars_fed = self._cnf.num_vars
             return self._solver
         solver = self._solver
         solver.ensure_num_vars(self._cnf.num_vars)
@@ -230,47 +357,164 @@ class BoundedModelChecker:
         while self._clauses_fed < len(clauses):
             solver.add_clause(clauses[self._clauses_fed])
             self._clauses_fed += 1
+        self._vars_fed = self._cnf.num_vars
         return solver
 
     def _encode_new_frames(self, bound: int) -> None:
-        """Unroll and constrain the frames ``[frames_encoded, bound)``.
+        """Unroll the frames ``[frames_encoded, bound)`` and queue their
+        environmental constraints.
 
         Frame logic reaches the CNF lazily through the property/assumption
-        cones; what is added here eagerly are the environmental constraints,
-        which are permanent facts (they hold at every bound).
+        cones.  The environmental constraints collected here are permanent
+        facts (they hold at every bound), but they are only *asserted* once
+        their input support intersects the property cone (see
+        :meth:`_assert_coi_assumptions`) -- an assumption over inputs the
+        property can never observe cannot change a verdict.
         """
         problem = self.problem
         self._unroller.unroll(bound)
-        builder = self._builder
+        pending = self._pending_assumptions
         for frame_index in range(self._frames_encoded, bound):
             frame = self._unroller.frames[frame_index]
             if problem.use_design_assumptions:
                 for literal in frame.assumption_bits.values():
-                    builder.assert_literal(literal)
+                    pending.append((literal, None))
             for assumption in problem.assumptions:
                 if assumption.applies_at(frame_index):
                     literal = self._unroller.blast_bit_at_frame(
                         assumption.expr, frame_index
                     )
-                    builder.assert_literal(literal)
+                    pending.append((literal, None))
         self._frames_encoded = bound
 
-    def _encode_window(self, window_start: int, bound: int) -> int:
-        """Encode "violated at some frame in ``[window_start, bound)``"
-        behind a fresh activation variable; return that variable."""
+    def _assert_coi_assumptions(
+        self, window_cone: Set[int]
+    ) -> Tuple[int, int]:
+        """Assert the pending assumptions inside the cone of influence.
+
+        The support (primary-input nodes) of the window cone is folded into
+        the running support set; every pending assumption whose own support
+        intersects it is asserted, which can in turn enlarge the support, so
+        the filter runs to a fixpoint.  With ``coi_assumptions`` disabled
+        every pending assumption is asserted unconditionally.
+
+        Returns ``(asserted, deferred)`` counts for this bound's stats.
+        """
         aig = self._unroller.aig
         builder = self._builder
-        violated_somewhere = aig.or_many(
-            aig.negate(
-                self._unroller.blast_bit_at_frame(
-                    self.problem.prop.expr, frame_index
+        pending = self._pending_assumptions
+        if not self.problem.coi_assumptions:
+            for literal, _ in pending:
+                builder.assert_literal(literal)
+            asserted = len(pending)
+            pending.clear()
+            return asserted, 0
+        support = self._support
+        support.update(node for node in window_cone if aig.is_input(node))
+        asserted = 0
+        changed = True
+        while changed and pending:
+            changed = False
+            still_pending: List[Tuple[int, Optional[Set[int]]]] = []
+            for literal, cached_support in pending:
+                literal_support = (
+                    cached_support
+                    if cached_support is not None
+                    else aig.cone_inputs([literal])
                 )
+                # Constant assumptions (folded to true/false) have empty
+                # support; assert them -- a folded-false assumption must
+                # surface as UNSAT, not be silently dropped.
+                if not literal_support or not literal_support.isdisjoint(support):
+                    builder.assert_literal(literal)
+                    support.update(literal_support)
+                    asserted += 1
+                    changed = True
+                else:
+                    still_pending.append((literal, literal_support))
+            self._pending_assumptions = pending = still_pending
+        return asserted, len(pending)
+
+    def _encode_window(
+        self, window_start: int, bound: int
+    ) -> Tuple[int, List[int]]:
+        """Encode "violated at some frame in ``[window_start, bound)``"
+        behind a fresh activation variable.
+
+        Returns the activation variable and the per-frame property literals
+        (the window roots, used for cone statistics and the frozen set).
+        """
+        aig = self._unroller.aig
+        builder = self._builder
+        roots = [
+            self._unroller.blast_bit_at_frame(
+                self.problem.prop.expr, frame_index
             )
             for frame_index in range(window_start, bound)
-        )
+        ]
+        violated_somewhere = aig.or_many(aig.negate(root) for root in roots)
         activation_var = builder.new_activation_var()
         builder.assert_literal_if(violated_somewhere, activation_var)
-        return activation_var
+        return activation_var, roots
+
+    def _preprocess_slab(
+        self, activation_var: int, window_roots: Sequence[int]
+    ) -> Optional[PreprocessStats]:
+        """Reduce the not-yet-fed clause slab in place.
+
+        Frozen (never eliminated): every variable the solver already knows,
+        the activation literal, the primary-input variables (frame inputs
+        and symbolic initial state) and the window-root variables that
+        :meth:`_retire_window` may assert later.  Tseitin auxiliaries that
+        a later bound re-references despite elimination are transparently
+        re-encoded by the builder (see ``CNFBuilder.mark_eliminated``).
+        """
+        clauses = self._cnf.clauses
+        fed = self._clauses_fed
+        slab = clauses[fed:]
+        if len(slab) < 24:
+            return None  # not worth the pass on trivial slabs
+        builder = self._builder
+        frozen = {activation_var}
+        frozen.update(builder.input_vars)
+        if builder.constant_var is not None:
+            frozen.add(builder.constant_var)
+        aig = self._unroller.aig
+        for root in window_roots:
+            root_var = builder.node_var(aig.lit_node(root))
+            if root_var is not None:
+                frozen.add(root_var)
+        # Everything the solver already watches is frozen via the cutoff
+        # (cheaper than materializing an O(num_vars) set per bound).
+        result = preprocess(slab, frozen=frozen, frozen_cutoff=self._vars_fed)
+        del clauses[fed:]
+        for clause in result.clauses:
+            self._cnf.add_clause(clause)
+        if result.eliminated:
+            builder.mark_eliminated(
+                variable for variable, _ in result.eliminated
+            )
+            self._elim_stack.extend(result.eliminated)
+        return result.stats
+
+    def _assert_deferred_and_resolve(self, activation_var: int) -> SolverResult:
+        """Confirm a provisional SAT answer against the full environment.
+
+        Deferred assumptions cannot influence the property cone, but they
+        can forbid the specific trace the solver picked -- or, if they are
+        jointly unsatisfiable, every trace.  They are permanent facts, so
+        they are asserted for good (future bounds inherit them) and the
+        window is re-solved under the same activation assumption.
+        """
+        builder = self._builder
+        for literal, _ in self._pending_assumptions:
+            builder.assert_literal(literal)
+        self._pending_assumptions = []
+        solver = self._sync_solver()
+        return solver.solve(
+            assumptions=[activation_var],
+            max_conflicts=self.problem.max_conflicts_per_query,
+        )
 
     def _retire_window(self, activation_var: int, window_start: int, bound: int) -> None:
         """After an UNSAT answer: disable the window clause for good and
@@ -419,9 +663,32 @@ class BoundedModelChecker:
                 )
                 continue
 
-            activation_var = self._encode_window(window_start, bound)
+            activation_var, window_roots = self._encode_window(
+                window_start, bound
+            )
+            window_cone = self._unroller.aig.cone_of(window_roots)
+            cone_nodes = len(window_cone)
+            asserted, deferred = self._assert_coi_assumptions(window_cone)
+            slab_before = self._cnf.num_clauses - self._clauses_fed
+            preprocess_stats = (
+                self._preprocess_slab(activation_var, window_roots)
+                if problem.preprocess
+                else None
+            )
+            slab_after = self._cnf.num_clauses - self._clauses_fed
             solver = self._sync_solver()
-            result = solver.solve(assumptions=[activation_var])
+            result = solver.solve(
+                assumptions=[activation_var],
+                max_conflicts=problem.max_conflicts_per_query,
+            )
+            solve_results = [result]
+            if result.is_sat and self._pending_assumptions:
+                # The SAT answer is provisional: confirm it against the
+                # deferred (off-cone) environmental assumptions.
+                asserted += deferred
+                deferred = 0
+                result = self._assert_deferred_and_resolve(activation_var)
+                solve_results.append(result)
             if result.is_unsat:
                 self._retire_window(activation_var, window_start, bound)
                 self._sync_solver()
@@ -434,23 +701,40 @@ class BoundedModelChecker:
                     window_start=window_start,
                     runtime_seconds=elapsed,
                     verdict=result.status.value,
-                    conflicts=result.stats.conflicts,
-                    decisions=result.stats.decisions,
-                    propagations=result.stats.propagations,
-                    learned_clauses=result.stats.learned_clauses,
+                    conflicts=sum(r.stats.conflicts for r in solve_results),
+                    decisions=sum(r.stats.decisions for r in solve_results),
+                    propagations=sum(
+                        r.stats.propagations for r in solve_results
+                    ),
+                    learned_clauses=sum(
+                        r.stats.learned_clauses for r in solve_results
+                    ),
                     learned_clauses_carried=solver.num_learned_clauses,
                     new_variables=self._cnf.num_vars - vars_before,
                     new_clauses=self._cnf.num_clauses - clauses_before,
+                    cone_nodes=cone_nodes,
+                    assumptions_asserted=asserted,
+                    assumptions_deferred=deferred,
+                    slab_clauses_before=slab_before,
+                    slab_clauses_after=slab_after,
+                    preprocess=preprocess_stats,
                 )
             )
 
             if result.is_sat:
+                assert result.model is not None
+                if self._elim_stack:
+                    result.model = extend_model(
+                        result.model,
+                        self._elim_stack,
+                        skip=self._builder.restored_vars,
+                    )
                 return self._violation_result(
                     result, bound, start_time, per_bound, per_bound_stats
                 )
-            # UNKNOWN (budget expiry) falls through like UNSAT but without
-            # retiring the window, so the frames stay unproven; the engine
-            # currently never sets a budget, so this is future-proofing.
+            # UNKNOWN (``max_conflicts_per_query`` expired) falls through
+            # like UNSAT but without retiring the window, so the frames stay
+            # unproven and ``frames_proven`` reflects only real proofs.
 
         return BMCResult(
             status=BMCStatus.NO_VIOLATION_WITHIN_BOUND,

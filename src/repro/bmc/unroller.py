@@ -10,6 +10,12 @@ directions).
 Because the initial state of Symbolic QED runs is fully concrete, constant
 folding inside the AIG collapses much of the early frames; this is the main
 reason the pure-Python BMC stays fast enough for the benchmark harness.
+
+Unrolling itself only *builds* AIG literals -- nothing is committed to CNF
+here.  Downstream, the engine walks the cone of influence of the property
+window (:meth:`repro.expr.aig.AIG.cone_of`) and the Tseitin encoder
+translates exactly the reachable part, so frame outputs the property never
+observes cost AIG nodes but no solver variables.
 """
 
 from __future__ import annotations

@@ -20,12 +20,14 @@ from repro.eval.campaign import (
     CampaignConfig,
     CampaignResult,
     FOCUS_SETS,
+    detect_bug,
     run_campaign,
 )
 from repro.eval.report import (
     design_inventory,
     detection_breakdown,
     format_table,
+    formula_reduction_statistics,
     runtime_statistics,
     solver_reuse_statistics,
 )
@@ -39,10 +41,12 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "FOCUS_SETS",
+    "detect_bug",
     "run_campaign",
     "design_inventory",
     "detection_breakdown",
     "format_table",
+    "formula_reduction_statistics",
     "runtime_statistics",
     "solver_reuse_statistics",
 ]

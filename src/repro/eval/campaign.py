@@ -13,11 +13,20 @@ environment constraint on the stimulus, see
 for the counterexample.  ``CampaignConfig(exhaustive=True)`` removes the
 focus sets and runs every feature on every version -- the faithful but slow
 configuration.
+
+The per-bug jobs are completely independent -- each builds its own design,
+QED module and solver -- so :func:`run_campaign` can fan them out over a
+``ProcessPoolExecutor`` (``workers=N``).  The merge is deterministic: records
+come back in the order the bugs were selected regardless of which worker
+finished first, so a parallel campaign produces the same records as a serial
+one (modulo wall-clock fields).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -123,6 +132,9 @@ class BugDetectionRecord:
     qed_solver_conflicts: int = 0
     qed_learned_clauses: int = 0
     qed_learned_clauses_reused: int = 0
+    qed_variables_eliminated: int = 0
+    qed_clauses_subsumed: int = 0
+    qed_preprocess_seconds: float = 0.0
     single_i_runtime_seconds: float = 0.0
     crs_detected: bool = False
     ocsfv_detected: bool = False
@@ -211,10 +223,63 @@ def _run_qed_feature(
     record.qed_solver_conflicts = result.solver_conflicts
     record.qed_learned_clauses = result.learned_clauses
     record.qed_learned_clauses_reused = result.learned_clauses_reused
+    record.qed_variables_eliminated = result.bmc_result.variables_eliminated
+    record.qed_clauses_subsumed = result.bmc_result.clauses_subsumed
+    record.qed_preprocess_seconds = result.bmc_result.preprocess_seconds
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run the campaign and return the per-bug detection records."""
+def detect_bug(bug_id: str, config: Optional[CampaignConfig] = None) -> BugDetectionRecord:
+    """Run every configured technique against one bug (a campaign *job*).
+
+    Each job is self-contained -- it elaborates its own design and solver
+    state -- which is what makes the process-pool fan-out of
+    :func:`run_campaign` safe: workers share nothing.
+    """
+    config = config or CampaignConfig()
+    bug = bug_by_id(bug_id)
+    version = _version_with_bug(bug.bug_id)
+    record = BugDetectionRecord(bug_id=bug.bug_id, version_name=version.name)
+
+    _run_qed_feature(bug, version, config, record)
+
+    if config.run_industrial_flow:
+        crs = ConstrainedRandomSim(
+            version, arch=config.arch, config=config.crs_config
+        )
+        record.crs_detected = crs.run().detected_bug
+        ocsfv = OCSFVChecker(version, arch=config.arch)
+        focus = FOCUS_SETS[bug.bug_id]["opcodes"]
+        record.ocsfv_detected = ocsfv.check_all(
+            instructions=None
+            if config.exhaustive or focus is None
+            else list(focus)
+        ).detected_bug
+    if config.run_directed_tests:
+        suite = default_directed_suite(config.arch)
+        results = suite.run_all(version, with_extension=version.with_extension)
+        record.dst_detected = suite.detected_bug(results)
+
+    return record
+
+
+def _detect_bug_job(job: Tuple[str, CampaignConfig]) -> BugDetectionRecord:
+    """Pool entry point (top-level so it pickles)."""
+    bug_id, config = job
+    return detect_bug(bug_id, config)
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None, *, workers: int = 1
+) -> CampaignResult:
+    """Run the campaign and return the per-bug detection records.
+
+    ``workers`` > 1 fans the independent per-bug jobs out over a
+    ``ProcessPoolExecutor``.  Records are merged back in bug-selection order
+    (``pool.map`` preserves input order), so the result is deterministic and
+    identical to a serial run apart from the wall-clock fields.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     config = config or CampaignConfig()
     selected_bugs = (
         [bug_by_id(b) for b in config.bug_ids]
@@ -224,32 +289,23 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     campaign = CampaignResult()
     start = time.perf_counter()
 
-    for bug in selected_bugs:
-        version = _version_with_bug(bug.bug_id)
-        record = BugDetectionRecord(bug_id=bug.bug_id, version_name=version.name)
-
-        _run_qed_feature(bug, version, config, record)
-
-        if config.run_industrial_flow:
-            crs = ConstrainedRandomSim(
-                version, arch=config.arch, config=config.crs_config
-            )
-            record.crs_detected = crs.run().detected_bug
-            ocsfv = OCSFVChecker(version, arch=config.arch)
-            focus = FOCUS_SETS[bug.bug_id]["opcodes"]
-            record.ocsfv_detected = ocsfv.check_all(
-                instructions=None
-                if config.exhaustive or focus is None
-                else list(focus)
-            ).detected_bug
-        if config.run_directed_tests:
-            suite = default_directed_suite(config.arch)
-            results = suite.run_all(
-                version, with_extension=version.with_extension
-            )
-            record.dst_detected = suite.detected_bug(results)
-
-        campaign.records.append(record)
+    if workers == 1 or len(selected_bugs) <= 1:
+        campaign.records = [
+            detect_bug(bug.bug_id, config) for bug in selected_bugs
+        ]
+    else:
+        # ``fork`` keeps the already-imported package (and sys.path) in the
+        # workers; the jobs are CPU-bound pure Python so processes, not
+        # threads, are required to use more than one core.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        jobs = [(bug.bug_id, config) for bug in selected_bugs]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(jobs)), mp_context=context
+        ) as pool:
+            campaign.records = list(pool.map(_detect_bug_job, jobs))
 
     campaign.wall_clock_seconds = time.perf_counter() - start
     return campaign

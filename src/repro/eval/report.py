@@ -117,3 +117,25 @@ def solver_reuse_statistics(campaign: CampaignResult) -> Dict[str, int]:
             r.qed_learned_clauses_reused for r in campaign.records
         ),
     }
+
+
+def formula_reduction_statistics(campaign: CampaignResult) -> Dict[str, float]:
+    """Aggregate formula-reduction work of the campaign's Symbolic QED runs.
+
+    Complements :func:`solver_reuse_statistics` with the preprocessing
+    pipeline's counters: how many CNF variables bounded variable elimination
+    removed, how many clauses subsumption dropped, and the wall-clock spent
+    inside preprocessing.  All three are zero when the campaign ran with
+    preprocessing disabled.
+    """
+    return {
+        "variables_eliminated": sum(
+            r.qed_variables_eliminated for r in campaign.records
+        ),
+        "clauses_subsumed": sum(
+            r.qed_clauses_subsumed for r in campaign.records
+        ),
+        "preprocess_seconds": sum(
+            r.qed_preprocess_seconds for r in campaign.records
+        ),
+    }

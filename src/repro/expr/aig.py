@@ -1,8 +1,9 @@
-"""And-Inverter Graph (AIG) with structural hashing and constant folding.
+"""And-Inverter Graph (AIG) with structural hashing, constant folding and
+local two-level rewriting.
 
 The AIG is the bit-level intermediate representation between the word-level
 expressions of :mod:`repro.expr.bitvec` and the CNF handed to the SAT solver.
-Keeping this layer explicit gives the bounded model checker two cheap but
+Keeping this layer explicit gives the bounded model checker three cheap but
 important optimisations:
 
 * **constant folding** -- the QED-consistent start state of Symbolic QED fixes
@@ -10,7 +11,16 @@ important optimisations:
   design collapse to constants;
 * **structural hashing** -- the original and duplicate halves of an EDDI-V
   transformed design share most of their logic cone, which hashing detects
-  and shares.
+  and shares;
+* **two-level rewriting** -- every :meth:`AIG.and_gate` call looks one level
+  into AND-shaped operands and applies the classic algebraic identities
+  (contradiction, idempotence/absorption, substitution, shared-child
+  merging) before allocating a node, so redundant structure produced by the
+  bit-blaster never reaches the Tseitin encoder.
+
+:meth:`AIG.cone_of` extracts the transitive fan-in of a set of root literals;
+the BMC engine uses it to measure (and the CNF layer to encode) only the true
+cone of influence of the property window instead of every frame output.
 
 Literals are encoded as ``2*node + sign`` where ``sign=1`` means inverted.
 Node 0 is the constant false, hence literal 0 is ``False`` and literal 1 is
@@ -19,7 +29,7 @@ Node 0 is the constant false, hence literal 0 is ``False`` and literal 1 is
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 AIG_FALSE = 0
 AIG_TRUE = 1
@@ -35,6 +45,15 @@ class AIG:
         self._is_input: List[bool] = [False]
         self._input_names: Dict[int, str] = {}
         self._strash: Dict[Tuple[int, int], int] = {}
+        #: How often each two-level rewrite rule fired (observability for the
+        #: formula-reduction pipeline; see ``rewrite_stats``).
+        self._rewrite_stats: Dict[str, int] = {
+            "contradiction": 0,
+            "idempotence": 0,
+            "absorption": 0,
+            "substitution": 0,
+            "shared_child": 0,
+        }
 
     # ------------------------------------------------------------------
     # Literal helpers
@@ -89,7 +108,7 @@ class AIG:
         return self._nodes[node]
 
     def and_gate(self, a: int, b: int) -> int:
-        """Return a literal for ``a AND b`` with folding and hashing."""
+        """Return a literal for ``a AND b`` with folding, rewriting, hashing."""
         # Constant folding.
         if a == AIG_FALSE or b == AIG_FALSE:
             return AIG_FALSE
@@ -101,6 +120,16 @@ class AIG:
             return a
         if a == self.negate(b):
             return AIG_FALSE
+        # Two-level rewriting: look one level into AND-shaped operands.
+        is_input = self._is_input
+        node_a = a >> 1
+        node_b = b >> 1
+        a_and = not is_input[node_a]
+        b_and = not is_input[node_b]
+        if a_and or b_and:
+            rewritten = self._rewrite_two_level(a, b, a_and, b_and)
+            if rewritten is not None:
+                return rewritten
         # Canonical ordering for hashing.
         if a > b:
             a, b = b, a
@@ -113,6 +142,109 @@ class AIG:
         self._is_input.append(False)
         self._strash[key] = index
         return 2 * index
+
+    def _rewrite_two_level(
+        self, a: int, b: int, a_and: bool, b_and: bool
+    ) -> "int | None":
+        """Apply the two-level algebraic identities to ``a AND b``.
+
+        Returns the rewritten literal, or ``None`` when no rule applies (the
+        caller then allocates/strashes the node as usual).  With children
+        ``(x, y)`` of ``a``'s node and ``(u, v)`` of ``b``'s node the rules
+        are the classic AIG rewriting set:
+
+        * contradiction -- ``(x & y) & !x -> 0`` and
+          ``(x & y) & (!x & v) -> 0``;
+        * idempotence   -- ``(x & y) & x -> x & y``;
+        * absorption    -- ``!(x & y) & !x -> !x`` and
+          ``(x & y) & !(!x & v) -> x & y``;
+        * substitution  -- ``!(x & y) & x -> x & !y`` and
+          ``(x & y) & !(x & v) -> (x & y) & !v``;
+        * shared child  -- ``(x & y) & (x & v) -> (x & y) & v``.
+
+        Every recursive ``and_gate`` call replaces an operand with a child of
+        one of the operand nodes, whose index is strictly smaller, so the
+        rewriting terminates.
+        """
+        stats = self._rewrite_stats
+        nodes = self._nodes
+        if a_and:
+            x, y = nodes[a >> 1]
+            if not a & 1:
+                if (b ^ 1) == x or (b ^ 1) == y:
+                    stats["contradiction"] += 1
+                    return AIG_FALSE
+                if b == x or b == y:
+                    stats["idempotence"] += 1
+                    return a
+            else:
+                if (b ^ 1) == x or (b ^ 1) == y:
+                    stats["absorption"] += 1
+                    return b
+                if b == x:
+                    stats["substitution"] += 1
+                    return self.and_gate(x, y ^ 1)
+                if b == y:
+                    stats["substitution"] += 1
+                    return self.and_gate(y, x ^ 1)
+        if b_and:
+            u, v = nodes[b >> 1]
+            if not b & 1:
+                if (a ^ 1) == u or (a ^ 1) == v:
+                    stats["contradiction"] += 1
+                    return AIG_FALSE
+                if a == u or a == v:
+                    stats["idempotence"] += 1
+                    return b
+            else:
+                if (a ^ 1) == u or (a ^ 1) == v:
+                    stats["absorption"] += 1
+                    return a
+                if a == u:
+                    stats["substitution"] += 1
+                    return self.and_gate(u, v ^ 1)
+                if a == v:
+                    stats["substitution"] += 1
+                    return self.and_gate(v, u ^ 1)
+        if a_and and b_and:
+            x, y = nodes[a >> 1]
+            u, v = nodes[b >> 1]
+            if not a & 1 and not b & 1:
+                if (
+                    (x ^ 1) == u
+                    or (x ^ 1) == v
+                    or (y ^ 1) == u
+                    or (y ^ 1) == v
+                ):
+                    stats["contradiction"] += 1
+                    return AIG_FALSE
+                if x == u or y == u:
+                    stats["shared_child"] += 1
+                    return self.and_gate(a, v)
+                if x == v or y == v:
+                    stats["shared_child"] += 1
+                    return self.and_gate(a, u)
+            elif not a & 1 and b & 1:
+                if (x ^ 1) == u or (y ^ 1) == u or (x ^ 1) == v or (y ^ 1) == v:
+                    stats["absorption"] += 1
+                    return a
+                if u == x or u == y:
+                    stats["substitution"] += 1
+                    return self.and_gate(a, v ^ 1)
+                if v == x or v == y:
+                    stats["substitution"] += 1
+                    return self.and_gate(a, u ^ 1)
+            elif a & 1 and not b & 1:
+                if (u ^ 1) == x or (v ^ 1) == x or (u ^ 1) == y or (v ^ 1) == y:
+                    stats["absorption"] += 1
+                    return b
+                if x == u or x == v:
+                    stats["substitution"] += 1
+                    return self.and_gate(b, y ^ 1)
+                if y == u or y == v:
+                    stats["substitution"] += 1
+                    return self.and_gate(b, x ^ 1)
+        return None
 
     def or_gate(self, a: int, b: int) -> int:
         """Return a literal for ``a OR b``."""
@@ -194,8 +326,47 @@ class AIG:
         return self.negate(carry)
 
     # ------------------------------------------------------------------
-    # Statistics
+    # Cone extraction / statistics
     # ------------------------------------------------------------------
+    def cone_of(self, roots: Iterable[int]) -> Set[int]:
+        """Return the node indices in the transitive fan-in of *roots*.
+
+        The cone contains every AND node and every primary input reachable
+        from the root literals (the constant node is never included).  This
+        is the cone-of-influence primitive of the formula-reduction pipeline:
+        the BMC engine measures it per bound, and the Tseitin encoder only
+        ever translates nodes inside it.
+        """
+        seen: Set[int] = set()
+        stack = [literal >> 1 for literal in roots]
+        nodes = self._nodes
+        is_input = self._is_input
+        while stack:
+            node = stack.pop()
+            if node == 0 or node in seen:
+                continue
+            seen.add(node)
+            if not is_input[node]:
+                left, right = nodes[node]
+                stack.append(left >> 1)
+                stack.append(right >> 1)
+        return seen
+
+    def cone_inputs(self, roots: Iterable[int]) -> Set[int]:
+        """Return the primary-input nodes in the cone of *roots*.
+
+        This is the *support* of the root literals; the engine uses it to
+        decide which environmental assumptions are inside the cone of
+        influence of a property window.
+        """
+        is_input = self._is_input
+        return {node for node in self.cone_of(roots) if is_input[node]}
+
+    @property
+    def rewrite_stats(self) -> Dict[str, int]:
+        """Per-rule counts of two-level rewrites performed so far."""
+        return dict(self._rewrite_stats)
+
     def cone_size(self, roots: Iterable[int]) -> int:
         """Return the number of AND nodes in the cone of *roots*."""
         seen = set()

@@ -4,11 +4,21 @@ Only the cone of influence of the requested literals is translated; constant
 and input nodes never allocate auxiliary variables unless referenced.  The
 builder keeps the node-to-variable map so several queries (e.g. successive BMC
 bounds) can share one CNF.
+
+The builder also cooperates with the CNF preprocessor
+(:mod:`repro.sat.preprocess`): auxiliary variables eliminated by bounded
+variable elimination are registered via :meth:`CNFBuilder.mark_eliminated`,
+and if a *later* cone re-references such a node (structural hashing shares
+nodes freely across time frames), the builder transparently re-encodes its
+Tseitin definition.  Re-adding the full definition of an eliminated Tseitin
+variable is sound: the definition uniquely determines the variable, so the
+value the solver picks coincides with the one model reconstruction would
+have chosen.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.expr.aig import AIG, AIG_FALSE, AIG_TRUE
 from repro.sat.cnf import CNF
@@ -30,6 +40,15 @@ class CNFBuilder:
         self._node_var: Dict[int, int] = {}
         # A variable constrained to be true, used to express constants.
         self._true_var: Optional[int] = None
+        #: CNF variables bound to primary inputs (frame inputs, symbolic
+        #: initial state).  The preprocessor must never eliminate them --
+        #: counterexample extraction reads the model through these.
+        self._input_vars: Set[int] = set()
+        #: Variables whose defining clauses were removed by preprocessing.
+        self._eliminated_vars: Set[int] = set()
+        #: Previously eliminated variables re-encoded on later reference;
+        #: model reconstruction must leave them to the solver.
+        self._restored_vars: Set[int] = set()
 
     # ------------------------------------------------------------------
     def _constant_true_var(self) -> int:
@@ -54,10 +73,14 @@ class CNFBuilder:
             return self._constant_true_var()
         existing = self._node_var.get(node)
         if existing is not None:
+            if existing in self._eliminated_vars:
+                self._restore(node)
             return existing
         variable = self.cnf.new_var()
         self._node_var[node] = variable
-        if not self.aig.is_input(node):
+        if self.aig.is_input(node):
+            self._input_vars.add(variable)
+        else:
             self._encode_and(node, variable)
         return variable
 
@@ -119,11 +142,74 @@ class CNFBuilder:
             if node not in self._node_var:
                 variable = self.cnf.new_var()
                 self._node_var[node] = variable
-                if not self.aig.is_input(node):
+                if self.aig.is_input(node):
+                    self._input_vars.add(variable)
+                else:
                     # Should not happen: parents are encoded after children.
                     self._encode_and(node, variable)
             variable = self._node_var[node]
+            if variable in self._eliminated_vars:
+                self._restore(node)
         return -variable if self.aig.lit_inverted(aig_literal) else variable
+
+    # ------------------------------------------------------------------
+    # Preprocessing cooperation
+    # ------------------------------------------------------------------
+    @property
+    def input_vars(self) -> Set[int]:
+        """CNF variables of primary inputs allocated so far (copy)."""
+        return set(self._input_vars)
+
+    @property
+    def constant_var(self) -> Optional[int]:
+        """The always-true constant variable, if allocated."""
+        return self._true_var
+
+    @property
+    def restored_vars(self) -> Set[int]:
+        """Eliminated variables later re-encoded (solver-assigned; copy)."""
+        return set(self._restored_vars)
+
+    def mark_eliminated(self, variables: Iterable[int]) -> None:
+        """Record variables whose defining clauses preprocessing removed.
+
+        If a later cone references the AIG node of such a variable, the
+        builder re-encodes its Tseitin definition (see :meth:`_restore`), so
+        incremental encoding stays sound under bounded variable elimination.
+        """
+        self._eliminated_vars.update(variables)
+
+    def _restore(self, node: int) -> None:
+        """Re-encode the definitions of *node* and any eliminated children."""
+        to_restore: List[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            variable = self._node_var[current]
+            if variable not in self._eliminated_vars:
+                continue
+            if self.aig.is_input(current):
+                # Inputs have no defining clauses; nothing to re-add.
+                self._eliminated_vars.discard(variable)
+                self._restored_vars.add(variable)
+                continue
+            self._eliminated_vars.discard(variable)
+            self._restored_vars.add(variable)
+            to_restore.append(current)
+            for child_literal in self.aig.node_children(current):
+                child = self.aig.lit_node(child_literal)
+                if child != 0 and not self.aig.is_input(child):
+                    child_var = self._node_var.get(child)
+                    if child_var is not None and child_var in self._eliminated_vars:
+                        stack.append(child)
+        for current in to_restore:
+            variable = self._node_var[current]
+            left, right = self.aig.node_children(current)
+            a = self._child_literal(left)
+            b = self._child_literal(right)
+            self.cnf.add_clause([-variable, a])
+            self.cnf.add_clause([-variable, b])
+            self.cnf.add_clause([variable, -a, -b])
 
     # ------------------------------------------------------------------
     def assert_literal(self, aig_literal: int) -> None:

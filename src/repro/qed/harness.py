@@ -184,6 +184,8 @@ class SymbolicQED:
         *,
         max_bound: int = DEFAULT_MAX_BOUND,
         single_query: bool = True,
+        preprocess: bool = True,
+        max_conflicts_per_query: Optional[int] = None,
     ) -> QEDCheckResult:
         """Run BMC from the QED-consistent start state up to *max_bound*.
 
@@ -192,6 +194,12 @@ class SymbolicQED:
         which matches how a commercial engine would be invoked and keeps the
         pure-Python backend fast.  ``single_query=False`` reproduces the
         textbook incremental-bound loop.
+
+        ``preprocess`` toggles the CNF formula-reduction pipeline (on by
+        default; ablations turn it off), and ``max_conflicts_per_query``
+        forwards a per-bound solver budget -- the engine answers UNKNOWN for
+        a bound whose budget expires, which conflict-budget depth ablations
+        use to compare how deep different pipelines prove.
         """
         problem = BMCProblem(
             design=self.design,
@@ -201,6 +209,8 @@ class SymbolicQED:
             max_bound=max_bound,
             violation_mode="any" if single_query else "first",
             bound_schedule=[max_bound] if single_query else None,
+            preprocess=preprocess,
+            max_conflicts_per_query=max_conflicts_per_query,
         )
         result = BoundedModelChecker(problem).run()
 

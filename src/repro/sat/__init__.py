@@ -11,6 +11,10 @@ the same pipeline from scratch).  This package provides:
   analysis, Luby restarts and phase saving.
 * :mod:`repro.sat.simplify` -- lightweight preprocessing (unit propagation,
   pure-literal elimination, tautology/duplicate removal).
+* :mod:`repro.sat.preprocess` -- SatELite-style formula reduction (bounded
+  variable elimination, subsumption, self-subsuming resolution,
+  failed-literal probing) with a frozen-variable contract that makes it
+  sound for the incremental BMC engine's per-bound clause slabs.
 
 The public entry point used by the rest of the library is
 :func:`repro.sat.solve`.
@@ -25,6 +29,12 @@ from repro.sat.solver import (
     solve,
 )
 from repro.sat.simplify import simplify_cnf
+from repro.sat.preprocess import (
+    PreprocessResult,
+    PreprocessStats,
+    extend_model,
+    preprocess,
+)
 
 __all__ = [
     "CNF",
@@ -38,4 +48,8 @@ __all__ = [
     "SolverStatus",
     "solve",
     "simplify_cnf",
+    "PreprocessResult",
+    "PreprocessStats",
+    "extend_model",
+    "preprocess",
 ]

@@ -201,3 +201,241 @@ class TestIncrementalEngine:
         assert result.per_bound_stats[-1].verdict == "sat"
         assert all(s.verdict == "unsat" for s in result.per_bound_stats[:-1])
         assert result.per_bound_stats[-1].bound == result.bound_reached
+
+
+class TestFormulaReductionPipeline:
+    """COI extraction and CNF preprocessing under the incremental engine."""
+
+    def _run(self, prop_value, schedule, preprocess, symbolic=False):
+        design = _counter_design()
+        prop = SafetyProperty(
+            f"never{prop_value}", BVVar("count", 4).ne(BVConst(4, prop_value))
+        )
+        problem = BMCProblem(
+            design=design,
+            prop=prop,
+            max_bound=schedule[-1],
+            bound_schedule=schedule,
+            preprocess=preprocess,
+            initial_state={"count": SYMBOLIC} if symbolic else None,
+        )
+        return BoundedModelChecker(problem).run()
+
+    def test_three_bound_unsat_run_matches_unpreprocessed(self):
+        baseline = self._run(9, [2, 4, 6], preprocess=False)
+        reduced = self._run(9, [2, 4, 6], preprocess=True)
+        assert baseline.status is reduced.status is (
+            BMCStatus.NO_VIOLATION_WITHIN_BOUND
+        )
+        assert [s.verdict for s in baseline.per_bound_stats] == [
+            s.verdict for s in reduced.per_bound_stats
+        ]
+        assert reduced.frames_proven == baseline.frames_proven == 6
+
+    def test_three_bound_violating_run_matches_unpreprocessed(self):
+        baseline = self._run(5, [2, 4, 6], preprocess=False)
+        reduced = self._run(5, [2, 4, 6], preprocess=True)
+        assert baseline.status is reduced.status is BMCStatus.VIOLATION
+        assert [s.verdict for s in baseline.per_bound_stats] == [
+            s.verdict for s in reduced.per_bound_stats
+        ]
+        # The replayed counterexamples reach the same violation.
+        assert (
+            baseline.counterexample.state_at(5, "count")
+            == reduced.counterexample.state_at(5, "count")
+            == 5
+        )
+
+    def test_symbolic_initial_state_survives_preprocessing(self):
+        """Model reconstruction must yield a replayable counterexample even
+        when elimination removed variables between the frames."""
+        baseline = self._run(3, [1, 2], preprocess=False, symbolic=True)
+        reduced = self._run(3, [1, 2], preprocess=True, symbolic=True)
+        assert baseline.status is reduced.status is BMCStatus.VIOLATION
+        assert reduced.counterexample.state_at(0, "count") in range(16)
+
+    def test_frozen_interface_variables_never_eliminated(self):
+        design = _counter_design()
+        prop = SafetyProperty("never9", BVVar("count", 4).ne(BVConst(4, 9)))
+        problem = BMCProblem(
+            design=design,
+            prop=prop,
+            max_bound=6,
+            initial_state={"count": SYMBOLIC},
+            preprocess=True,
+        )
+        checker = BoundedModelChecker(problem)
+        checker.run()
+        eliminated = {variable for variable, _ in checker._elim_stack}
+        assert eliminated.isdisjoint(checker._builder.input_vars)
+
+    def test_preprocessing_shrinks_the_slab(self):
+        result = self._run(9, [6], preprocess=True)
+        stats = [s for s in result.per_bound_stats if s.verdict != "skipped"]
+        assert stats, "expected at least one solved bound"
+        total_before = sum(s.slab_clauses_before for s in stats)
+        total_after = sum(s.slab_clauses_after for s in stats)
+        assert total_after < total_before
+        assert result.variables_eliminated > 0
+
+    def test_cone_of_influence_defers_unrelated_assumptions(self):
+        """An environmental assumption over inputs the property cannot
+        observe must be deferred, not encoded."""
+        circuit = Circuit("two_counters")
+        enable_a = circuit.input("enable_a", 1)
+        enable_b = circuit.input("enable_b", 1)
+        count_a = circuit.register("count_a", 4, reset=0)
+        count_b = circuit.register("count_b", 4, reset=0)
+        count_a.next = mux(enable_a, count_a.q + BVConst(4, 1), count_a.q)
+        count_b.next = mux(enable_b, count_b.q + BVConst(4, 1), count_b.q)
+        circuit.output("value_a", count_a.q)
+        design = elaborate(circuit)
+        prop = SafetyProperty("a_low", BVVar("count_a", 4).ne(BVConst(4, 9)))
+        assumption = Assumption(
+            "b_enabled", BVVar("enable_b", 1).eq(BVConst(1, 1))
+        )
+        problem = BMCProblem(
+            design=design,
+            prop=prop,
+            assumptions=[assumption],
+            max_bound=4,
+        )
+        result = BoundedModelChecker(problem).run()
+        assert result.status is BMCStatus.NO_VIOLATION_WITHIN_BOUND
+        deferred = sum(s.assumptions_deferred for s in result.per_bound_stats)
+        assert deferred > 0
+        asserted = sum(s.assumptions_asserted for s in result.per_bound_stats)
+        # The deferred assumption never enters the formula.
+        assert asserted == 0
+
+    def test_coi_disabled_asserts_everything(self):
+        design = _counter_design()
+        prop = SafetyProperty("never9", BVVar("count", 4).ne(BVConst(4, 9)))
+        problem = BMCProblem(
+            design=design, prop=prop, max_bound=3, coi_assumptions=False
+        )
+        result = BoundedModelChecker(problem).run()
+        assert sum(s.assumptions_deferred for s in result.per_bound_stats) == 0
+
+    def test_conflict_budget_yields_unknown_and_no_proof(self):
+        # Symbolic start state constrained below 8: ``count`` can never hit
+        # 12 within the bound, but proving that takes real conflicts, which
+        # a zero budget forbids -- every window must answer UNKNOWN.
+        design = _counter_design()
+        prop = SafetyProperty("never12", BVVar("count", 4).ne(BVConst(4, 12)))
+        low_start = Assumption(
+            "low", BVVar("count", 4).ult(BVConst(4, 8)), only_cycle=0
+        )
+        problem = BMCProblem(
+            design=design,
+            prop=prop,
+            assumptions=[low_start],
+            max_bound=4,
+            initial_state={"count": SYMBOLIC},
+            max_conflicts_per_query=0,
+        )
+        result = BoundedModelChecker(problem).run()
+        assert result.status is BMCStatus.NO_VIOLATION_WITHIN_BOUND
+        verdicts = {s.verdict for s in result.per_bound_stats}
+        assert "unknown" in verdicts
+        # Budget-expired windows are never promoted to proven frames.
+        assert result.frames_proven < 4
+
+
+class TestDeferredAssumptionSoundness:
+    """SAT answers must be confirmed against deferred (off-cone) assumptions."""
+
+    @staticmethod
+    def _two_counter_design():
+        circuit = Circuit("two_counters_sound")
+        enable_a = circuit.input("enable_a", 1)
+        enable_b = circuit.input("enable_b", 1)
+        count_a = circuit.register("count_a", 4, reset=0)
+        count_b = circuit.register("count_b", 4, reset=0)
+        count_a.next = mux(enable_a, count_a.q + BVConst(4, 1), count_a.q)
+        count_b.next = mux(enable_b, count_b.q + BVConst(4, 1), count_b.q)
+        circuit.output("value_a", count_a.q)
+        return elaborate(circuit)
+
+    def test_jointly_unsat_deferred_assumptions_forbid_violation(self):
+        # The property alone is violated at frame 3, but the environment
+        # (contradictory constraints on an input outside the property cone)
+        # admits no trace at all -- reporting a violation would be unsound.
+        design = self._two_counter_design()
+        prop = SafetyProperty("never3", BVVar("count_a", 4).ne(BVConst(4, 3)))
+        contradictory = [
+            Assumption("b_on", BVVar("enable_b", 1).eq(BVConst(1, 1))),
+            Assumption("b_off", BVVar("enable_b", 1).eq(BVConst(1, 0))),
+        ]
+        for coi in (True, False):
+            problem = BMCProblem(
+                design=design,
+                prop=prop,
+                assumptions=contradictory,
+                max_bound=6,
+                coi_assumptions=coi,
+            )
+            result = BoundedModelChecker(problem).run()
+            assert result.status is BMCStatus.NO_VIOLATION_WITHIN_BOUND, (
+                f"spurious violation with coi_assumptions={coi}"
+            )
+
+    def test_reported_trace_honours_deferred_assumption(self):
+        # A satisfiable off-cone assumption must still shape the returned
+        # counterexample: enable_b is pinned high even though the property
+        # never observes it.
+        design = self._two_counter_design()
+        prop = SafetyProperty("never2", BVVar("count_a", 4).ne(BVConst(4, 2)))
+        pinned = Assumption("b_on", BVVar("enable_b", 1).eq(BVConst(1, 1)))
+        problem = BMCProblem(
+            design=design, prop=prop, assumptions=[pinned], max_bound=6
+        )
+        result = BoundedModelChecker(problem).run()
+        assert result.status is BMCStatus.VIOLATION
+        trace = result.counterexample
+        assert all(
+            trace.inputs[cycle]["enable_b"] == 1
+            for cycle in range(trace.length)
+        )
+
+
+class TestFramesProvenMetric:
+    def test_unknown_then_unsat_counts_the_later_proof(self):
+        # [unsat@2, unknown@4, unsat@6]: the bound-6 window folds the
+        # frames the UNKNOWN left unproven, so all six frames are proven.
+        from repro.bmc.engine import BMCResult, BoundStats
+
+        def stats(bound, verdict):
+            return BoundStats(
+                bound=bound, window_start=0, runtime_seconds=0.0,
+                verdict=verdict,
+            )
+
+        result = BMCResult(
+            status=BMCStatus.NO_VIOLATION_WITHIN_BOUND,
+            property_name="p",
+            bound_reached=6,
+            runtime_seconds=0.0,
+            per_bound_stats=[
+                stats(2, "unsat"), stats(4, "unknown"), stats(6, "unsat")
+            ],
+        )
+        assert result.frames_proven == 6
+
+    def test_trailing_unknown_does_not_count(self):
+        from repro.bmc.engine import BMCResult, BoundStats
+
+        def stats(bound, verdict):
+            return BoundStats(
+                bound=bound, window_start=0, runtime_seconds=0.0,
+                verdict=verdict,
+            )
+
+        result = BMCResult(
+            status=BMCStatus.NO_VIOLATION_WITHIN_BOUND,
+            property_name="p",
+            bound_reached=4,
+            runtime_seconds=0.0,
+            per_bound_stats=[stats(2, "unsat"), stats(4, "unknown")],
+        )
+        assert result.frames_proven == 2

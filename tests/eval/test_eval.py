@@ -13,6 +13,7 @@ from repro.eval import (
     setup_effort_table,
 )
 from repro.eval.campaign import BugDetectionRecord, CampaignResult
+from repro.eval import CampaignConfig, detect_bug, run_campaign
 from repro.uarch.bugs import BUGS
 
 
@@ -79,3 +80,56 @@ class TestReports:
         assert percent["qed_cf"] == pytest.approx(28.6, abs=0.1)
         assert percent["qed_mem"] == pytest.approx(7.1, abs=0.1)
         assert percent["single_i"] == pytest.approx(28.6, abs=0.1)
+
+
+class TestParallelCampaign:
+    """The process-pool fan-out must not change what the campaign records."""
+
+    BUG_IDS = ["sra_zero_fill", "cmpi_carry_spec"]
+
+    @staticmethod
+    def _comparable(record):
+        """Every field except the wall-clock measurements."""
+        return {
+            "bug_id": record.bug_id,
+            "version_name": record.version_name,
+            "detected_by": dict(record.detected_by),
+            "qed_counterexample_cycles": record.qed_counterexample_cycles,
+            "qed_solver_conflicts": record.qed_solver_conflicts,
+            "qed_learned_clauses": record.qed_learned_clauses,
+            "qed_variables_eliminated": record.qed_variables_eliminated,
+            "qed_clauses_subsumed": record.qed_clauses_subsumed,
+            "crs_detected": record.crs_detected,
+            "ocsfv_detected": record.ocsfv_detected,
+            "dst_detected": record.dst_detected,
+        }
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_campaign(CampaignConfig(bug_ids=self.BUG_IDS), workers=0)
+
+    def test_parallel_records_match_serial(self):
+        # Industrial-flow baselines are covered elsewhere; skipping them
+        # keeps this tier-1 test in the sub-second-per-job range.
+        config = CampaignConfig(
+            bug_ids=self.BUG_IDS,
+            run_industrial_flow=False,
+            run_directed_tests=False,
+        )
+        serial = run_campaign(config, workers=1)
+        parallel = run_campaign(config, workers=2)
+        assert [self._comparable(r) for r in serial.records] == [
+            self._comparable(r) for r in parallel.records
+        ]
+        # Deterministic merge: records come back in bug-selection order.
+        assert [r.bug_id for r in parallel.records] == self.BUG_IDS
+
+    def test_detect_bug_matches_campaign_record(self):
+        config = CampaignConfig(
+            bug_ids=self.BUG_IDS[:1],
+            run_industrial_flow=False,
+            run_directed_tests=False,
+        )
+        campaign = run_campaign(config)
+        single = detect_bug(self.BUG_IDS[0], config)
+        assert self._comparable(campaign.records[0]) == self._comparable(single)

@@ -1,0 +1,185 @@
+"""Tests for the AIG: algebraic rewriting, strashing and cone extraction."""
+
+import itertools
+import random
+
+from repro.expr.aig import AIG, AIG_FALSE, AIG_TRUE
+
+
+def _evaluate(aig: AIG, literal: int, env):
+    """Evaluate *literal* under ``env`` (input node -> bool)."""
+    node = aig.lit_node(literal)
+    if node == 0:
+        value = False
+    elif aig.is_input(node):
+        value = env[node]
+    else:
+        left, right = aig.node_children(node)
+        value = _evaluate(aig, left, env) and _evaluate(aig, right, env)
+    return value != aig.lit_inverted(literal)
+
+
+class TestConstantsAndFolding:
+    def test_constants(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_gate(AIG_FALSE, a) == AIG_FALSE
+        assert aig.and_gate(a, AIG_FALSE) == AIG_FALSE
+        assert aig.and_gate(AIG_TRUE, a) == a
+        assert aig.and_gate(a, AIG_TRUE) == a
+
+    def test_idempotence_on_literals(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_gate(a, a) == a
+
+    def test_contradiction_on_literals(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_gate(a, aig.negate(a)) == AIG_FALSE
+
+    def test_double_negation(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.negate(aig.negate(a)) == a
+
+
+class TestStrashing:
+    def test_commuted_operands_share_a_node(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        assert aig.and_gate(a, b) == aig.and_gate(b, a)
+
+    def test_identical_call_shares_a_node(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        before = aig.num_nodes
+        first = aig.and_gate(a, b)
+        assert aig.num_nodes == before + 1
+        assert aig.and_gate(a, b) == first
+        assert aig.num_nodes == before + 1
+
+
+class TestTwoLevelRewriting:
+    def test_two_level_contradiction(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        ab = aig.and_gate(a, b)
+        assert aig.and_gate(ab, aig.negate(a)) == AIG_FALSE
+        assert aig.rewrite_stats["contradiction"] >= 1
+
+    def test_two_level_idempotence(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        ab = aig.and_gate(a, b)
+        assert aig.and_gate(ab, a) == ab
+        assert aig.and_gate(b, ab) == ab
+        assert aig.rewrite_stats["idempotence"] >= 2
+
+    def test_absorption(self):
+        # !(a & b) & !a  ->  !a
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        nab = aig.negate(aig.and_gate(a, b))
+        assert aig.and_gate(nab, aig.negate(a)) == aig.negate(a)
+        assert aig.rewrite_stats["absorption"] >= 1
+
+    def test_substitution(self):
+        # !(a & b) & a  ->  a & !b
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        nab = aig.negate(aig.and_gate(a, b))
+        assert aig.and_gate(nab, a) == aig.and_gate(a, aig.negate(b))
+        assert aig.rewrite_stats["substitution"] >= 1
+
+    def test_shared_child_merging(self):
+        # (a & b) & (a & c)  ->  (a & b) & c
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        c = aig.add_input("c")
+        ab = aig.and_gate(a, b)
+        ac = aig.and_gate(a, c)
+        assert aig.and_gate(ab, ac) == aig.and_gate(ab, c)
+        assert aig.rewrite_stats["shared_child"] >= 1
+
+    def test_random_rewriting_preserves_semantics(self):
+        """Truth tables before/after rewriting must agree.
+
+        Random AND/OR/XOR/NOT trees over four inputs are built through the
+        rewriting constructor; every literal's truth table is compared to a
+        reference computed directly on the operand truth tables.
+        """
+        rng = random.Random(20260729)
+        for _ in range(200):
+            aig = AIG()
+            inputs = [aig.add_input(f"i{index}") for index in range(4)]
+            assignments = list(itertools.product([False, True], repeat=4))
+            envs = [
+                dict(zip((lit >> 1 for lit in inputs), values))
+                for values in assignments
+            ]
+            # pool of (literal, truth-table) pairs
+            pool = [
+                (lit, tuple(env[lit >> 1] for env in envs)) for lit in inputs
+            ]
+            for _ in range(12):
+                op = rng.choice(("and", "or", "xor", "not"))
+                a_lit, a_tt = rng.choice(pool)
+                b_lit, b_tt = rng.choice(pool)
+                if op == "not":
+                    lit = aig.negate(a_lit)
+                    table = tuple(not v for v in a_tt)
+                elif op == "and":
+                    lit = aig.and_gate(a_lit, b_lit)
+                    table = tuple(x and y for x, y in zip(a_tt, b_tt))
+                elif op == "or":
+                    lit = aig.or_gate(a_lit, b_lit)
+                    table = tuple(x or y for x, y in zip(a_tt, b_tt))
+                else:
+                    lit = aig.xor_gate(a_lit, b_lit)
+                    table = tuple(x != y for x, y in zip(a_tt, b_tt))
+                actual = tuple(_evaluate(aig, lit, env) for env in envs)
+                assert actual == table
+                pool.append((lit, table))
+
+
+class TestConeExtraction:
+    def test_cone_of_input_is_itself(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.cone_of([a]) == {a >> 1}
+        assert aig.cone_inputs([a]) == {a >> 1}
+
+    def test_cone_excludes_unreachable_logic(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        c = aig.add_input("c")
+        ab = aig.and_gate(a, b)
+        bc = aig.and_gate(b, c)  # not in the cone of ab
+        cone = aig.cone_of([ab])
+        assert ab >> 1 in cone
+        assert bc >> 1 not in cone
+        assert c >> 1 not in cone
+        assert aig.cone_inputs([ab]) == {a >> 1, b >> 1}
+
+    def test_cone_size_counts_and_nodes_only(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        c = aig.add_input("c")
+        abc = aig.and_gate(aig.and_gate(a, b), c)
+        assert aig.cone_size([abc]) == 2
+        assert aig.cone_size([a]) == 0
+
+    def test_cone_of_constant_is_empty(self):
+        aig = AIG()
+        assert aig.cone_of([AIG_FALSE]) == set()
+        assert aig.cone_of([AIG_TRUE]) == set()
