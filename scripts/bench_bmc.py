@@ -11,9 +11,17 @@ is how CI gates the hot path.
 Profiles::
 
     counter  -- synthetic counter designs only (seconds; no QED harness)
-    fast     -- counter + the Table-2 detection run (A.v3 EDDI-V) and the
-                clean-design soundness proof (B.v6); the CI profile
+    fast     -- counter + the Table-2 detection run (A.v3 EDDI-V), the
+                clean-design soundness proof (B.v6), the conflict-budgeted
+                QED-CF depth run (``frames_proven`` is its metric) and a
+                2-worker distributed smoke; the CI profile
     full     -- fast + the QED-mem detection run (A.v5, bound 9)
+
+Depth runs are gated on ``frames_proven`` as well as wall-clock: a fresh
+run proving *fewer* frames than the baseline under the same conflict budget
+fails ``--check`` even when it is fast (depth, not speed, is what the
+budget ablations track).  Distributed runs record per-cube statistics
+(verdict, conflicts, re-splits, clause sharing) in the JSON report.
 
 Usage::
 
@@ -22,6 +30,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_bmc.py --check BENCH_bmc.json
     PYTHONPATH=src python scripts/bench_bmc.py --qed A.v3 \\
         --mode eddiv --bound 8 --focus LDI MOV INC ADD           # ad-hoc QED run
+    PYTHONPATH=src python scripts/bench_bmc.py --qed B.v6 \\
+        --mode eddiv_cf --bound 8 --workers 4 --dense            # distributed
 """
 
 from __future__ import annotations
@@ -78,6 +88,33 @@ def _bound_stats_rows(result: BMCResult) -> List[Dict[str, object]]:
                 "rounds": stats.preprocess.rounds,
                 "time_seconds": round(stats.preprocess.time_seconds, 6),
             }
+        if stats.dist is not None:
+            row["dist"] = {
+                "workers": stats.dist.workers,
+                "strategy": stats.dist.strategy,
+                "cubes_total": stats.dist.cubes_total,
+                "cubes_sat": stats.dist.cubes_sat,
+                "cubes_unsat": stats.dist.cubes_unsat,
+                "cubes_unknown": stats.dist.cubes_unknown,
+                "resplits": stats.dist.resplits,
+                "clauses_shared": stats.dist.clauses_shared,
+                "wall_seconds": round(stats.dist.wall_seconds, 6),
+                "winner": stats.dist.winner,
+                "cubes": [
+                    {
+                        "literals": list(cube.literals),
+                        "verdict": cube.verdict,
+                        "depth": cube.depth,
+                        "conflicts": cube.conflicts,
+                        "decisions": cube.decisions,
+                        "propagations": cube.propagations,
+                        "runtime_seconds": round(cube.runtime_seconds, 6),
+                        "worker": cube.worker,
+                        "config": cube.config,
+                    }
+                    for cube in stats.dist.cubes
+                ],
+            }
         rows.append(row)
     return rows
 
@@ -99,6 +136,9 @@ def _summarise(name: str, result: BMCResult) -> Dict[str, object]:
         "clauses_subsumed": result.clauses_subsumed,
         "preprocess_seconds": round(result.preprocess_seconds, 6),
         "frames_proven": result.frames_proven,
+        "cubes_solved": result.cubes_solved,
+        "cubes_resplit": result.cubes_resplit,
+        "clauses_shared": result.clauses_shared,
         "per_bound": _bound_stats_rows(result),
     }
 
@@ -139,7 +179,11 @@ def _qed_run(
     *,
     dense: bool = False,
     expect_violation: Optional[bool] = None,
+    max_conflicts_per_query: Optional[int] = None,
+    workers: int = 0,
+    cube_conflict_budget: Optional[int] = 4000,
 ) -> Dict[str, object]:
+    from repro.dist import SplitConfig
     from repro.isa.arch import TINY_PROFILE
     from repro.qed import QEDMode, SymbolicQED
 
@@ -151,7 +195,17 @@ def _qed_run(
         focus_opcodes=focus if mode is not QEDMode.EDDIV_MEM else None,
         tracked_registers=(0,),
     )
-    check = harness.check(max_bound=bound, single_query=not dense)
+    split = (
+        SplitConfig(workers=workers, cube_conflict_budget=cube_conflict_budget)
+        if workers >= 1
+        else None
+    )
+    check = harness.check(
+        max_bound=bound,
+        single_query=not dense,
+        max_conflicts_per_query=max_conflicts_per_query,
+        split=split,
+    )
     if (
         expect_violation is not None
         and check.found_violation != expect_violation
@@ -190,6 +244,39 @@ def run_profile(profile: str, max_bound: int) -> List[Dict[str, object]]:
             6,
             ["LDI", "MOV", "INC", "ADD", "STA", "LDA"],
             expect_violation=False,
+        )
+    )
+    # Conflict-budgeted QED-CF depth run: under a fixed per-bound conflict
+    # budget, `frames_proven` measures how deep the engine can retire
+    # windows -- the ROADMAP depth metric for the hardest instance family.
+    # Runs on the deterministic single-worker distributed engine (cube-and-
+    # conquer over window position and opcode bits).
+    runs.append(
+        _qed_run(
+            "depth/B.v6/eddiv_cf/budget3000",
+            "B.v6",
+            "eddiv_cf",
+            7,
+            ["LDI", "ADD", "CMPI", "BZ"],
+            dense=True,
+            expect_violation=False,
+            max_conflicts_per_query=3000,
+            workers=1,
+            cube_conflict_budget=1500,
+        )
+    )
+    # Distributed smoke: a 2-worker cube-and-conquer proof of the clean
+    # design, exercising the process pool, work stealing and clause sharing
+    # under the CI regression gate.
+    runs.append(
+        _qed_run(
+            "distributed/B.v6/eddiv/w2",
+            "B.v6",
+            "eddiv",
+            5,
+            ["LDI", "MOV", "INC", "ADD", "STA", "LDA"],
+            expect_violation=False,
+            workers=2,
         )
     )
     if profile == "full":
@@ -231,6 +318,17 @@ def check_regression(
         if run["status"] != old["status"]:
             failures.append(
                 f"{name}: verdict changed {old['status']} -> {run['status']}"
+            )
+            continue
+        old_frames = int(old.get("frames_proven", 0))
+        new_frames = int(run.get("frames_proven", 0))
+        if new_frames < old_frames:
+            # Depth regression: under the same conflict budget the engine
+            # must keep proving at least as many frames (conflict budgets
+            # are deterministic, so this is not a flaky wall-clock gate).
+            failures.append(
+                f"{name}: frames_proven regressed "
+                f"{old_frames} -> {new_frames}"
             )
             continue
         old_seconds = float(old["runtime_seconds"])
@@ -283,6 +381,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="use the dense per-bound schedule for --qed instead of one query",
     )
     parser.add_argument(
+        "--workers", type=int, default=0,
+        help="route --qed through the distributed proof engine with this "
+        "many workers (0 = sequential; 1 = inline cube-and-conquer)",
+    )
+    parser.add_argument(
+        "--max-conflicts", type=int, default=None,
+        help="per-bound conflict budget for --qed (frames_proven becomes "
+        "the metric of interest)",
+    )
+    parser.add_argument(
         "--json-out", default=DEFAULT_JSON_OUT,
         help="write the JSON report here ('-' for stdout; "
         "default: BENCH_bmc.json at the repo root)",
@@ -303,14 +411,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     runs = run_profile(args.profile, args.max_bound)
     if args.qed:
+        suffix = ("/dense" if args.dense else "") + (
+            f"/w{args.workers}" if args.workers else ""
+        )
         runs.append(
             _qed_run(
-                f"qed/{args.qed}/{args.mode}" + ("/dense" if args.dense else ""),
+                f"qed/{args.qed}/{args.mode}" + suffix,
                 args.qed,
                 args.mode,
                 args.bound,
                 args.focus,
                 dense=args.dense,
+                workers=args.workers,
+                max_conflicts_per_query=args.max_conflicts,
             )
         )
 

@@ -31,6 +31,15 @@ pipeline; per bound the stages are:
    :class:`~repro.sat.solver.CDCLSolver` and the window is solved under an
    activation-literal assumption; learned clauses carry across bounds.
 
+With :attr:`BMCProblem.split` set, stage 5 is replaced by the **distributed
+proof engine** (:mod:`repro.dist`): the window query is partitioned into
+cubes (by property-window position and look-ahead-scored split variables)
+and fanned over a worker-process pool with dynamic re-splitting and
+learned-clause sharing.  All cubes UNSAT retires the window exactly as a
+sequential UNSAT does; any SAT cube's model is replayed into a
+counterexample exactly as a sequential model is.  Stages 1-4 are shared
+between both paths.
+
 Window encoding
 ===============
 
@@ -72,9 +81,23 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.bmc.property import Assumption, SafetyProperty
 from repro.bmc.trace import CounterexampleTrace, property_holds_at, replay_inputs
 from repro.bmc.unroller import SYMBOLIC, Unroller
+from repro.dist.cubes import (
+    Cube,
+    binary_cubes,
+    ladder_cubes,
+    product_cubes,
+    select_split_variables,
+)
+from repro.dist.scheduler import (
+    DistResult,
+    DistStats,
+    SplitConfig,
+    SplitQuery,
+    WorkScheduler,
+)
 from repro.expr.cnfgen import CNFBuilder
 from repro.rtl.design import Design
-from repro.sat.cnf import CNF
+from repro.sat.cnf import CNF, var_of
 from repro.sat.preprocess import (
     EliminationRecord,
     PreprocessStats,
@@ -128,6 +151,10 @@ class BoundStats:
     #: :class:`repro.sat.preprocess.PreprocessStats`); ``None`` when
     #: preprocessing was disabled or skipped.
     preprocess: Optional[PreprocessStats] = None
+    #: Per-cube statistics of the distributed proof engine (see
+    #: :class:`repro.dist.scheduler.DistStats`); ``None`` for a sequential
+    #: (in-process) query.
+    dist: Optional[DistStats] = None
 
     @property
     def variables_eliminated(self) -> int:
@@ -217,6 +244,25 @@ class BMCResult:
         )
 
     @property
+    def cubes_solved(self) -> int:
+        """Cubes answered by the distributed engine across all bounds."""
+        return sum(
+            s.dist.cubes_total for s in self.per_bound_stats if s.dist
+        )
+
+    @property
+    def cubes_resplit(self) -> int:
+        """Dynamic re-splits performed across all bounds."""
+        return sum(s.dist.resplits for s in self.per_bound_stats if s.dist)
+
+    @property
+    def clauses_shared(self) -> int:
+        """Short learned clauses exchanged between workers, all bounds."""
+        return sum(
+            s.dist.clauses_shared for s in self.per_bound_stats if s.dist
+        )
+
+    @property
     def frames_proven(self) -> int:
         """Frames proven safe in every trace by the chain of UNSAT windows.
 
@@ -271,6 +317,17 @@ class BMCProblem:
     ``max_conflicts_per_query`` bounds the solver effort per bound (the
     query answers UNKNOWN when exhausted), which is how the conflict-budget
     ablations measure reachable depth.
+
+    ``split`` hands every bound's query to the distributed proof engine
+    (:mod:`repro.dist`): the query is partitioned into cubes by QED
+    property-window position and look-ahead-scored split variables, fanned
+    over a worker pool with dynamic re-splitting and learned-clause sharing,
+    and the per-cube verdicts are merged (all UNSAT -> the window is proven
+    exactly as in sequential mode; any SAT -> the model is replayed into a
+    counterexample exactly as in sequential mode).  ``split=None`` (the
+    default) keeps the single-process incremental path;
+    ``SplitConfig(workers=1)`` runs the cube decomposition inline and stays
+    byte-for-byte deterministic.
     """
 
     design: Design
@@ -284,6 +341,7 @@ class BMCProblem:
     preprocess: bool = True
     coi_assumptions: bool = True
     max_conflicts_per_query: Optional[int] = None
+    split: Optional[SplitConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_bound < 1:
@@ -457,23 +515,18 @@ class BoundedModelChecker:
         builder.assert_literal_if(violated_somewhere, activation_var)
         return activation_var, roots
 
-    def _preprocess_slab(
+    def _frozen_interface_vars(
         self, activation_var: int, window_roots: Sequence[int]
-    ) -> Optional[PreprocessStats]:
-        """Reduce the not-yet-fed clause slab in place.
+    ) -> Set[int]:
+        """Variables the engine may observe or assert after this query.
 
-        Frozen (never eliminated): every variable the solver already knows,
-        the activation literal, the primary-input variables (frame inputs
-        and symbolic initial state) and the window-root variables that
-        :meth:`_retire_window` may assert later.  Tseitin auxiliaries that
-        a later bound re-references despite elimination are transparently
-        re-encoded by the builder (see ``CNFBuilder.mark_eliminated``).
+        This is the frozen contract shared by slab preprocessing and the
+        distributed workers' whole-formula preprocessing: the activation
+        literal, the primary-input variables (frame inputs and symbolic
+        initial state -- counterexample extraction reads the model through
+        them), the constant-true variable and the window-root variables
+        that :meth:`_retire_window` may assert later.
         """
-        clauses = self._cnf.clauses
-        fed = self._clauses_fed
-        slab = clauses[fed:]
-        if len(slab) < 24:
-            return None  # not worth the pass on trivial slabs
         builder = self._builder
         frozen = {activation_var}
         frozen.update(builder.input_vars)
@@ -484,6 +537,26 @@ class BoundedModelChecker:
             root_var = builder.node_var(aig.lit_node(root))
             if root_var is not None:
                 frozen.add(root_var)
+        return frozen
+
+    def _preprocess_slab(
+        self, activation_var: int, window_roots: Sequence[int]
+    ) -> Optional[PreprocessStats]:
+        """Reduce the not-yet-fed clause slab in place.
+
+        Frozen (never eliminated): every variable the solver already knows
+        plus the engine-interface set of :meth:`_frozen_interface_vars`.
+        Tseitin auxiliaries that a later bound re-references despite
+        elimination are transparently re-encoded by the builder (see
+        ``CNFBuilder.mark_eliminated``).
+        """
+        clauses = self._cnf.clauses
+        fed = self._clauses_fed
+        slab = clauses[fed:]
+        if len(slab) < 24:
+            return None  # not worth the pass on trivial slabs
+        builder = self._builder
+        frozen = self._frozen_interface_vars(activation_var, window_roots)
         # Everything the solver already watches is frozen via the cutoff
         # (cheaper than materializing an O(num_vars) set per bound).
         result = preprocess(slab, frozen=frozen, frozen_cutoff=self._vars_fed)
@@ -515,6 +588,90 @@ class BoundedModelChecker:
             assumptions=[activation_var],
             max_conflicts=self.problem.max_conflicts_per_query,
         )
+
+    def _build_split_query(
+        self,
+        activation_var: int,
+        window_roots: Sequence[int],
+        window_cone: Set[int],
+    ) -> SplitQuery:
+        """Prepare this bound's query for the distributed proof engine.
+
+        The cube axes follow the split strategy: the QED property-window
+        position ("the first violated frame is i", a ladder partition over
+        the per-frame violation literals) and/or look-ahead-scored split
+        variables from the window cone (preferring the instruction-port
+        inputs, i.e. the focus-set opcode choice, when the config names
+        them).  Variables not consumed by the initial cubes are kept as the
+        ranked re-split sequence for cubes that overrun their budget.
+        """
+        split = self.problem.split
+        assert split is not None
+        aig = self._unroller.aig
+        builder = self._builder
+        violated = [
+            builder.literal(aig.negate(root)) for root in window_roots
+        ]
+        root_vars = {var_of(literal) for literal in violated}
+        # Variables whose defining clauses slab-BVE removed occur in no
+        # clause of the query: splitting on them would be a no-op that
+        # doubles the work per level, so they are excluded.
+        lookahead = select_split_variables(
+            aig,
+            builder,
+            window_cone,
+            limit=split.lookahead_depth + split.max_resplit_depth + 4,
+            exclude=root_vars | {activation_var} | builder.eliminated_vars,
+            prefer_input_prefixes=split.prefer_input_prefixes,
+        )
+        used = 0
+        if split.strategy == "portfolio":
+            cubes = [Cube(())]
+        elif split.strategy == "window":
+            cubes = ladder_cubes(violated)
+        elif split.strategy == "lookahead":
+            depth = min(split.lookahead_depth, len(lookahead))
+            while depth > 0 and (1 << depth) > split.max_initial_cubes:
+                depth -= 1
+            cubes = binary_cubes(lookahead, depth)
+            used = depth
+        else:  # "auto": window ladder x look-ahead tree, capped
+            ladder = ladder_cubes(violated)
+            depth = min(split.lookahead_depth, len(lookahead))
+            while depth > 0 and len(ladder) * (1 << depth) > split.max_initial_cubes:
+                depth -= 1
+            cubes = product_cubes(ladder, binary_cubes(lookahead, depth))
+            used = depth
+        frozen = self._frozen_interface_vars(activation_var, window_roots)
+        frozen.update(root_vars)
+        frozen.update(lookahead)
+        return SplitQuery(
+            clauses=self._cnf.clauses,
+            num_vars=self._cnf.num_vars,
+            assumptions=[activation_var],
+            cubes=cubes,
+            resplit_vars=lookahead[used:],
+            frozen=frozenset(frozen),
+            max_conflicts=self.problem.max_conflicts_per_query,
+        )
+
+    def _solve_distributed(
+        self,
+        activation_var: int,
+        window_roots: Sequence[int],
+        window_cone: Set[int],
+    ) -> DistResult:
+        """Answer this bound's query via the cube-and-conquer scheduler."""
+        query = self._build_split_query(
+            activation_var, window_roots, window_cone
+        )
+        result = WorkScheduler(self.problem.split).solve(query)
+        # The distributed path never feeds the in-process solver; advance
+        # the slab cursors so the next bound's preprocessing still operates
+        # on only its new clauses (with earlier variables frozen).
+        self._clauses_fed = self._cnf.num_clauses
+        self._vars_fed = self._cnf.num_vars
+        return result
 
     def _retire_window(self, activation_var: int, window_start: int, bound: int) -> None:
         """After an UNSAT answer: disable the window clause for good and
@@ -676,22 +833,55 @@ class BoundedModelChecker:
                 else None
             )
             slab_after = self._cnf.num_clauses - self._clauses_fed
-            solver = self._sync_solver()
-            result = solver.solve(
-                assumptions=[activation_var],
-                max_conflicts=problem.max_conflicts_per_query,
-            )
-            solve_results = [result]
-            if result.is_sat and self._pending_assumptions:
-                # The SAT answer is provisional: confirm it against the
-                # deferred (off-cone) environmental assumptions.
-                asserted += deferred
-                deferred = 0
-                result = self._assert_deferred_and_resolve(activation_var)
-                solve_results.append(result)
-            if result.is_unsat:
-                self._retire_window(activation_var, window_start, bound)
-                self._sync_solver()
+            dist_stats: Optional[DistStats] = None
+            if problem.split is not None:
+                result = self._solve_distributed(
+                    activation_var, window_roots, window_cone
+                )
+                dist_stats = result.stats
+                solve_results = [result]
+                if result.is_sat and self._pending_assumptions:
+                    # Provisional SAT: assert the deferred (off-cone)
+                    # assumptions permanently and re-dispatch the query.
+                    asserted += deferred
+                    deferred = 0
+                    for literal, _ in self._pending_assumptions:
+                        self._builder.assert_literal(literal)
+                    self._pending_assumptions = []
+                    result = self._solve_distributed(
+                        activation_var, window_roots, window_cone
+                    )
+                    # Merge both dispatches into one DistStats and report
+                    # only the merged result: DistStats sums its cube list,
+                    # so also appending to solve_results would double-count
+                    # the re-dispatch's work in BoundStats.
+                    dist_stats.cubes.extend(result.stats.cubes)
+                    dist_stats.resplits += result.stats.resplits
+                    dist_stats.clauses_shared += result.stats.clauses_shared
+                    dist_stats.wall_seconds += result.stats.wall_seconds
+                    result.stats = dist_stats
+                    solve_results = [result]
+                if result.is_unsat:
+                    self._retire_window(activation_var, window_start, bound)
+                learned_carried = 0
+            else:
+                solver = self._sync_solver()
+                result = solver.solve(
+                    assumptions=[activation_var],
+                    max_conflicts=problem.max_conflicts_per_query,
+                )
+                solve_results = [result]
+                if result.is_sat and self._pending_assumptions:
+                    # The SAT answer is provisional: confirm it against the
+                    # deferred (off-cone) environmental assumptions.
+                    asserted += deferred
+                    deferred = 0
+                    result = self._assert_deferred_and_resolve(activation_var)
+                    solve_results.append(result)
+                if result.is_unsat:
+                    self._retire_window(activation_var, window_start, bound)
+                    self._sync_solver()
+                learned_carried = solver.num_learned_clauses
 
             elapsed = time.perf_counter() - bound_start
             per_bound.append(elapsed)
@@ -709,7 +899,7 @@ class BoundedModelChecker:
                     learned_clauses=sum(
                         r.stats.learned_clauses for r in solve_results
                     ),
-                    learned_clauses_carried=solver.num_learned_clauses,
+                    learned_clauses_carried=learned_carried,
                     new_variables=self._cnf.num_vars - vars_before,
                     new_clauses=self._cnf.num_clauses - clauses_before,
                     cone_nodes=cone_nodes,
@@ -718,6 +908,7 @@ class BoundedModelChecker:
                     slab_clauses_before=slab_before,
                     slab_clauses_after=slab_after,
                     preprocess=preprocess_stats,
+                    dist=dist_stats,
                 )
             )
 

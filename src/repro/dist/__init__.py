@@ -1,0 +1,94 @@
+"""Distributed proof engine: cube-and-conquer + portfolio for one BMC query.
+
+The hardest Symbolic QED instances are single deep detection queries (the
+QED-CF check at bound 8 in the case study); a per-bug campaign fan-out
+cannot touch them because the wall-clock is one SAT call.  This package
+splits that *single* query into independently solvable sub-problems -- the
+pre-silicon analogue of the cube-and-conquer decompositions that "Boosting
+the Bounds of Symbolic QED" and "Breaking the Bounds of Symbolic QED" use to
+break the BMC depth wall -- and fans them over processes::
+
+    BoundedModelChecker (bound k, split strategy)
+        |
+        |  clauses + activation assumption        repro.dist.cubes
+        |  ------------------------------>  +------------------------+
+        |                                   | cube generator         |
+        |                                   |  window-position ladder|
+        |                                   |  x look-ahead binary   |
+        |                                   |  (AIG cone scoring)    |
+        |                                   +-----------+------------+
+        |                                               | cubes (a partition:
+        |                                               |  disjoint, covering)
+        v                                               v
+    +-------------------------------- repro.dist.scheduler ---------------+
+    |  task queue (work stealing)   <--- re-split on budget overrun       |
+    |     |            |        |                                         |
+    |  worker 0     worker 1   worker N    each: own CDCL solver, built   |
+    |  (baseline)  (pos-phase) (rapid-..)  once, diverse personality      |
+    |     |            |        |          (repro.dist.portfolio configs) |
+    |     +---- shared clause queue ----+  short (LBD<=3) learned clauses |
+    +------------------+---------------------------------------------------+
+                       | per-cube verdicts + stats
+                       v
+          merge:  any cube SAT   -> query SAT (model replayed as usual)
+                  all cubes UNSAT-> query UNSAT (cubes cover the space)
+                  budget expired -> UNKNOWN
+
+Soundness rests on two invariants, both enforced by construction and tested
+property-style in ``tests/dist``:
+
+* the cube set emitted by :mod:`repro.dist.cubes` partitions the search
+  space of its split variables (disjunction is a tautology, cubes pairwise
+  disjoint), so "all cubes UNSAT" refutes the original query;
+* shared learned clauses are implied by the common clause database alone,
+  never by cube assumptions, so importing them into any worker is sound.
+
+``workers=1`` runs the cube loop inline (no processes) and is bit-for-bit
+deterministic; ``strategy="portfolio"`` races the unsplit query across
+diverse solver configurations and cancels the losers
+(:mod:`repro.dist.portfolio`).
+"""
+
+from repro.dist.cubes import (
+    Cube,
+    binary_cubes,
+    ladder_cubes,
+    product_cubes,
+    select_split_variables,
+    split_cube,
+    validate_partition,
+)
+from repro.dist.portfolio import (
+    DIVERSE_CONFIGS,
+    PortfolioConfig,
+    PortfolioOutcome,
+    solve_portfolio,
+)
+from repro.dist.scheduler import (
+    CubeStats,
+    DistResult,
+    DistStats,
+    SplitConfig,
+    SplitQuery,
+    WorkScheduler,
+)
+
+__all__ = [
+    "Cube",
+    "binary_cubes",
+    "ladder_cubes",
+    "product_cubes",
+    "select_split_variables",
+    "split_cube",
+    "validate_partition",
+    "DIVERSE_CONFIGS",
+    "PortfolioConfig",
+    "PortfolioOutcome",
+    "solve_portfolio",
+    "CubeStats",
+    "DistResult",
+    "DistStats",
+    "SplitConfig",
+    "SplitQuery",
+    "WorkScheduler",
+]

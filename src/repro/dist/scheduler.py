@@ -1,0 +1,636 @@
+"""Work scheduling for a split BMC query: pool, stealing, re-split, sharing.
+
+The scheduler owns one *query* (a clause list plus base assumptions, e.g.
+"the property-violation window of bound ``k`` is active") and a cube set
+from :mod:`repro.dist.cubes` that partitions its search space.  It answers
+with the merged verdict:
+
+* **any cube SAT** -- the query is SAT; the model is returned untouched so
+  the BMC engine replays the counterexample exactly as in sequential mode;
+* **all cubes UNSAT** -- the query is UNSAT (the cube set covers the space,
+  so the disjunction argument applies);
+* otherwise (a conflict budget expired) -- UNKNOWN.
+
+Scheduling model
+================
+
+``workers == 1`` runs every cube inline on one long-lived solver, in
+deterministic order, with no processes -- learned clauses flow between cubes
+through the shared database, and two runs of the same query are bit-for-bit
+identical.  ``workers > 1`` forks a process pool:
+
+* every worker builds its solver once from the query's clauses and then
+  *steals* cubes from a shared task queue (idle workers drain whatever is
+  left, so an unlucky cube assignment cannot idle the pool);
+* a cube whose per-cube conflict budget expires is **re-split** on the next
+  ranked look-ahead variable into two child cubes that go back on the queue
+  (dynamic cube-and-conquer: hard regions of the space get progressively
+  finer cubes); at ``max_resplit_depth`` the cube is solved to completion
+  instead;
+* workers broadcast short learned clauses (LBD <= ``share_max_lbd``) into
+  every peer's bounded inbox queue and drain their own inbox before each
+  cube.  Shared clauses are implied by the common formula alone -- never by
+  cube assumptions -- so importing them is sound for every cube;
+* each worker gets a different :data:`~repro.dist.portfolio.DIVERSE_CONFIGS`
+  personality, adding portfolio-style diversity to the fan-out.
+
+``strategy="portfolio"`` skips the cube machinery entirely and races the
+whole query across diverse configurations via
+:func:`repro.dist.portfolio.solve_portfolio`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.dist.cubes import Cube, split_cube
+from repro.dist.portfolio import (
+    DIVERSE_CONFIGS,
+    PortfolioConfig,
+    solve_portfolio,
+)
+from repro.sat.cnf import Literal, var_of
+from repro.sat.solver import SolverStats, SolverStatus
+
+_STRATEGIES = ("auto", "window", "lookahead", "portfolio")
+
+
+@dataclass
+class SplitConfig:
+    """How to split and schedule one hard BMC query.
+
+    ``workers`` is the process count (1 = inline and deterministic).
+    ``strategy`` picks the cube axes: ``"window"`` splits by QED
+    property-window position only, ``"lookahead"`` by scored split variables
+    only, ``"auto"`` combines both, ``"portfolio"`` races the unsplit query
+    across diverse solver configurations.  ``cube_conflict_budget`` is the
+    per-cube solver budget before a cube is re-split (``None`` disables
+    re-splitting); ``max_resplit_depth`` bounds the dynamic splitting depth.
+    """
+
+    workers: int = 1
+    strategy: str = "auto"
+    lookahead_depth: int = 2
+    max_initial_cubes: int = 32
+    cube_conflict_budget: Optional[int] = 4000
+    max_resplit_depth: int = 4
+    share_clauses: bool = True
+    share_max_lbd: int = 3
+    share_queue_size: int = 1024
+    configs: Tuple[PortfolioConfig, ...] = DIVERSE_CONFIGS
+    #: Primary-input name prefixes preferred as split variables -- the QED
+    #: harness passes the instruction-port prefix here so cubes partition by
+    #: focus-set opcode choice (see
+    #: :func:`repro.dist.cubes.select_split_variables`).
+    prefer_input_prefixes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.lookahead_depth < 0:
+            raise ValueError("lookahead_depth must be non-negative")
+        if self.max_initial_cubes < 1:
+            raise ValueError("max_initial_cubes must be at least 1")
+        if not self.configs:
+            raise ValueError("configs must not be empty")
+
+
+@dataclass
+class CubeStats:
+    """Solver work spent on one cube (or one portfolio race)."""
+
+    literals: Tuple[Literal, ...]
+    verdict: str
+    depth: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+    runtime_seconds: float = 0.0
+    worker: int = 0
+    config: str = "baseline"
+    clauses_imported: int = 0
+    clauses_exported: int = 0
+
+
+@dataclass
+class DistStats:
+    """Aggregate statistics of one scheduled query."""
+
+    workers: int
+    strategy: str
+    cubes: List[CubeStats] = field(default_factory=list)
+    resplits: int = 0
+    clauses_shared: int = 0
+    wall_seconds: float = 0.0
+    #: Winning configuration of a portfolio race (``None`` otherwise).
+    winner: Optional[str] = None
+
+    @property
+    def cubes_total(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def cubes_sat(self) -> int:
+        return sum(1 for c in self.cubes if c.verdict == "sat")
+
+    @property
+    def cubes_unsat(self) -> int:
+        return sum(1 for c in self.cubes if c.verdict == "unsat")
+
+    @property
+    def cubes_unknown(self) -> int:
+        return sum(1 for c in self.cubes if c.verdict == "unknown")
+
+    @property
+    def conflicts(self) -> int:
+        return sum(c.conflicts for c in self.cubes)
+
+    @property
+    def decisions(self) -> int:
+        return sum(c.decisions for c in self.cubes)
+
+    @property
+    def propagations(self) -> int:
+        return sum(c.propagations for c in self.cubes)
+
+    @property
+    def learned_clauses(self) -> int:
+        return sum(c.learned_clauses for c in self.cubes)
+
+
+@dataclass
+class SplitQuery:
+    """One SAT query prepared for distribution.
+
+    ``clauses`` is the complete formula (a worker must be able to rebuild
+    the solver from it alone); ``assumptions`` the base assumption literals
+    applied to every cube (the BMC activation literal); ``cubes`` the
+    partition from :mod:`repro.dist.cubes`; ``resplit_vars`` the ranked
+    look-ahead variables still unused, consumed in order by dynamic
+    re-splitting; ``frozen`` the variables a preprocessing worker must keep
+    (inputs, window roots, assumption and cube variables).
+    ``max_conflicts`` is the global budget over all cubes -- exceeded means
+    the merged verdict is UNKNOWN, matching the sequential engine's
+    per-query budget semantics.
+    """
+
+    clauses: List[List[Literal]]
+    num_vars: int
+    assumptions: List[Literal] = field(default_factory=list)
+    cubes: List[Cube] = field(default_factory=lambda: [Cube(())])
+    resplit_vars: List[int] = field(default_factory=list)
+    frozen: FrozenSet[int] = frozenset()
+    max_conflicts: Optional[int] = None
+
+
+@dataclass
+class DistResult:
+    """Merged outcome of one scheduled query."""
+
+    status: SolverStatus
+    model: Optional[List[bool]] = None
+    stats: DistStats = field(default_factory=lambda: DistStats(1, "auto"))
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SolverStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SolverStatus.UNSAT
+
+    @property
+    def unknown(self) -> bool:
+        return self.status is SolverStatus.UNKNOWN
+
+    def solver_stats(self) -> SolverStats:
+        """The aggregate work as a :class:`~repro.sat.solver.SolverStats`."""
+        stats = self.stats
+        return SolverStats(
+            decisions=stats.decisions,
+            propagations=stats.propagations,
+            conflicts=stats.conflicts,
+            learned_clauses=stats.learned_clauses,
+        )
+
+
+def _next_resplit_var(cube: Cube, resplit_vars: Sequence[int]) -> Optional[int]:
+    """The first ranked look-ahead variable the cube does not constrain."""
+    used = {var_of(lit) for lit in cube.literals}
+    for variable in resplit_vars:
+        if variable not in used:
+            return variable
+    return None
+
+
+class WorkScheduler:
+    """Fan one :class:`SplitQuery` out over cubes and worker processes."""
+
+    def __init__(self, config: Optional[SplitConfig] = None) -> None:
+        self.config = config or SplitConfig()
+
+    # ------------------------------------------------------------------
+    def solve(self, query: SplitQuery) -> DistResult:
+        config = self.config
+        start = time.perf_counter()
+        if config.strategy == "portfolio":
+            result = self._solve_portfolio(query)
+        elif config.workers == 1:
+            result = self._solve_sequential(query)
+        else:
+            result = self._solve_parallel(query)
+        result.stats.wall_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_portfolio(self, query: SplitQuery) -> DistResult:
+        config = self.config
+        outcome = solve_portfolio(
+            query.clauses,
+            query.num_vars,
+            query.assumptions,
+            configs=config.configs,
+            workers=config.workers,
+            frozen=query.frozen,
+            max_conflicts=query.max_conflicts,
+        )
+        stats = DistStats(
+            workers=config.workers,
+            strategy="portfolio",
+            winner=outcome.winner,
+        )
+        stats.cubes.append(
+            CubeStats(
+                literals=(),
+                verdict=outcome.status.value,
+                conflicts=outcome.conflicts,
+                decisions=outcome.decisions,
+                propagations=outcome.propagations,
+                learned_clauses=outcome.learned_clauses,
+                runtime_seconds=outcome.runtime_seconds,
+                config=outcome.winner or "portfolio",
+            )
+        )
+        return DistResult(
+            status=outcome.status, model=outcome.model, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_sequential(self, query: SplitQuery) -> DistResult:
+        """Inline cube loop: one solver, deterministic order, no processes.
+
+        Clause sharing is implicit -- every learned clause (not just the
+        short ones) stays in the shared database for the following cubes,
+        which is strictly stronger than the parallel sharing protocol.
+        """
+        config = self.config
+        personality = config.configs[0]
+        solver, reduction = personality.build_solver(
+            query.clauses, query.num_vars, query.frozen
+        )
+        stats = DistStats(workers=1, strategy=config.strategy)
+        pending = deque((cube, False) for cube in query.cubes)
+        spent = 0
+        unknown_final = 0
+        while pending:
+            cube, unbudgeted = pending.popleft()
+            budget = None if unbudgeted else config.cube_conflict_budget
+            if query.max_conflicts is not None:
+                remaining = max(0, query.max_conflicts - spent)
+                budget = remaining if budget is None else min(budget, remaining)
+            cube_start = time.perf_counter()
+            result = solver.solve(
+                assumptions=query.assumptions + list(cube.literals),
+                max_conflicts=budget,
+            )
+            spent += result.stats.conflicts
+            record = CubeStats(
+                literals=cube.literals,
+                verdict=result.status.value,
+                depth=cube.depth,
+                conflicts=result.stats.conflicts,
+                decisions=result.stats.decisions,
+                propagations=result.stats.propagations,
+                learned_clauses=result.stats.learned_clauses,
+                runtime_seconds=time.perf_counter() - cube_start,
+                config=personality.name,
+            )
+            stats.cubes.append(record)
+            if result.is_sat:
+                model = result.model
+                if model is not None and reduction is not None:
+                    model = reduction.extend_model(model)
+                return DistResult(SolverStatus.SAT, model=model, stats=stats)
+            if result.is_unsat:
+                # A proof stands even when this cube's conflicts exhausted
+                # the global budget (the remaining cubes, if any, get a
+                # zero-conflict attempt that can still refute trivially).
+                continue
+            # Budget expired on this cube.
+            if query.max_conflicts is not None and spent >= query.max_conflicts:
+                return DistResult(SolverStatus.UNKNOWN, stats=stats)
+            variable = (
+                _next_resplit_var(cube, query.resplit_vars)
+                if cube.depth < config.max_resplit_depth
+                else None
+            )
+            if variable is not None:
+                left, right = split_cube(cube, variable)
+                # Depth-first: children go to the front so the solver's
+                # learned clauses and phases stay relevant to them.
+                pending.appendleft((right, False))
+                pending.appendleft((left, False))
+                stats.resplits += 1
+            elif query.max_conflicts is None:
+                # No global budget to respect and no split variable left:
+                # re-queue unbudgeted and solve the cube to completion.
+                pending.appendleft((cube, True))
+            else:
+                unknown_final += 1
+        if unknown_final:
+            return DistResult(SolverStatus.UNKNOWN, stats=stats)
+        return DistResult(SolverStatus.UNSAT, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _dispatch_budget(self, query: SplitQuery, spent: int) -> Optional[int]:
+        """Per-cube conflict budget for a dispatch after *spent* conflicts.
+
+        The per-cube budget never exceeds what is left of the query's global
+        budget (matching the sequential path), so a single cube cannot
+        silently burn past ``max_conflicts`` even when
+        ``cube_conflict_budget`` is ``None``.
+        """
+        budget = self.config.cube_conflict_budget
+        if query.max_conflicts is not None:
+            remaining = max(0, query.max_conflicts - spent)
+            budget = remaining if budget is None else min(budget, remaining)
+        return budget
+
+    def _solve_parallel(self, query: SplitQuery) -> DistResult:
+        config = self.config
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        tasks: "multiprocessing.Queue" = context.Queue()
+        results: "multiprocessing.Queue" = context.Queue()
+        stop = context.Event()
+        for cube in query.cubes:
+            tasks.put(
+                (
+                    tuple(cube.literals),
+                    cube.depth,
+                    self._dispatch_budget(query, 0),
+                )
+            )
+        # Without a cube budget the cube count is fixed, so extra workers
+        # would only build solvers to idle; with re-splitting enabled the
+        # cube population can outgrow the initial set, so the full requested
+        # pool is started even for a single seed cube.
+        if config.cube_conflict_budget is None:
+            workers = min(config.workers, max(1, len(query.cubes)))
+        else:
+            workers = config.workers
+        # One bounded inbox per worker: an exporter broadcasts a clause into
+        # every *peer's* inbox (single shared queue semantics would deliver
+        # each clause to exactly one consumer -- possibly the exporter).
+        inboxes: Optional[List["multiprocessing.Queue"]] = (
+            [context.Queue(config.share_queue_size) for _ in range(workers)]
+            if config.share_clauses and workers > 1
+            else None
+        )
+        processes = [
+            context.Process(
+                target=_pool_worker,
+                args=(
+                    worker_id,
+                    config.configs[worker_id % len(config.configs)],
+                    query,
+                    config.share_max_lbd if config.share_clauses else None,
+                    tasks,
+                    results,
+                    inboxes,
+                    stop,
+                ),
+                daemon=True,
+            )
+            for worker_id in range(workers)
+        ]
+        for process in processes:
+            process.start()
+
+        stats = DistStats(workers=workers, strategy=config.strategy)
+        outstanding = len(query.cubes)
+        spent = 0
+        unknown_final = 0
+        status = SolverStatus.UNSAT
+        model: Optional[List[bool]] = None
+        try:
+            while outstanding > 0:
+                try:
+                    message = results.get(timeout=0.1)
+                except queue_module.Empty:
+                    # A worker only exits before `stop` if it crashed (OOM
+                    # kill, unhandled exception); its in-flight cube is lost
+                    # and `outstanding` would never drain, so fail safe to
+                    # UNKNOWN instead of hanging.  The result queue is empty
+                    # here, so no reported verdict is discarded.
+                    if any(p.exitcode is not None for p in processes):
+                        status = SolverStatus.UNKNOWN
+                        break
+                    continue
+                (
+                    worker_id,
+                    literals,
+                    depth,
+                    verdict,
+                    cube_model,
+                    work,
+                    imported,
+                    exported,
+                    config_name,
+                    runtime,
+                ) = message
+                record = CubeStats(
+                    literals=tuple(literals),
+                    verdict=verdict,
+                    depth=depth,
+                    conflicts=work[0],
+                    decisions=work[1],
+                    propagations=work[2],
+                    learned_clauses=work[3],
+                    runtime_seconds=runtime,
+                    worker=worker_id,
+                    config=config_name,
+                    clauses_imported=imported,
+                    clauses_exported=exported,
+                )
+                stats.cubes.append(record)
+                stats.clauses_shared += exported
+                spent += work[0]
+                over_budget = (
+                    query.max_conflicts is not None
+                    and spent >= query.max_conflicts
+                )
+                if verdict == "sat":
+                    status = SolverStatus.SAT
+                    model = cube_model
+                    break
+                if verdict == "unsat":
+                    # Book-keeping first: a query whose *last* cube is UNSAT
+                    # is proven even when that cube's conflicts exhausted the
+                    # global budget (the sequential path agrees).
+                    outstanding -= 1
+                elif over_budget:
+                    unknown_final += 1
+                    outstanding -= 1
+                else:
+                    # UNKNOWN within budget: re-split or finish the cube.
+                    cube = Cube(tuple(literals), depth)
+                    variable = (
+                        _next_resplit_var(cube, query.resplit_vars)
+                        if depth < config.max_resplit_depth
+                        else None
+                    )
+                    if variable is not None:
+                        left, right = split_cube(cube, variable)
+                        child_budget = self._dispatch_budget(query, spent)
+                        tasks.put(
+                            (tuple(left.literals), left.depth, child_budget)
+                        )
+                        tasks.put(
+                            (tuple(right.literals), right.depth, child_budget)
+                        )
+                        stats.resplits += 1
+                        outstanding += 1
+                    elif query.max_conflicts is None:
+                        # Solve to completion (no budget).
+                        tasks.put((tuple(cube.literals), cube.depth, None))
+                    else:
+                        unknown_final += 1
+                        outstanding -= 1
+                # When the global budget is exhausted the loop keeps
+                # draining: queued cubes still run (their dispatch budgets
+                # were capped at what the budget allowed at dispatch time)
+                # and may refute cheaply, so a fully-refuted cube set still
+                # merges to UNSAT instead of abandoning in-flight proofs as
+                # UNKNOWN.  Re-splitting stops (the branch above), so the
+                # queue drains and the loop terminates.
+            else:
+                status = (
+                    SolverStatus.UNKNOWN if unknown_final else SolverStatus.UNSAT
+                )
+        finally:
+            stop.set()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=2.0)
+            for q in [tasks, results] + (inboxes or []):
+                q.close()
+                q.cancel_join_thread()
+        # Stable ordering for reporting: completion order is racy.
+        stats.cubes.sort(key=lambda c: (c.depth, c.literals))
+        return DistResult(status=status, model=model, stats=stats)
+
+
+def _pool_worker(
+    worker_id: int,
+    personality: PortfolioConfig,
+    query: SplitQuery,
+    share_max_lbd: Optional[int],
+    tasks: "multiprocessing.Queue",
+    results: "multiprocessing.Queue",
+    inboxes: Optional[List["multiprocessing.Queue"]],
+    stop: "multiprocessing.synchronize.Event",
+) -> None:
+    """Worker process: build one solver, then steal cubes until stopped.
+
+    Each task carries its own conflict budget (``None`` = solve to
+    completion), assigned by the scheduler at dispatch time so it reflects
+    what is left of the query's global budget.  Clause sharing is a
+    broadcast: a learned clause is pushed into every *peer's* inbox, and the
+    worker drains only its own inbox, so it never re-imports its own
+    exports and every peer sees every shared clause (unless a full inbox
+    drops it).
+    """
+    solver, reduction = personality.build_solver(
+        query.clauses, query.num_vars, query.frozen
+    )
+    if share_max_lbd is not None and inboxes is not None:
+        solver.enable_clause_export(max_lbd=share_max_lbd)
+    while not stop.is_set():
+        try:
+            literals, depth, budget = tasks.get(timeout=0.05)
+        except queue_module.Empty:
+            continue
+        imported = 0
+        if inboxes is not None:
+            for _ in range(256):
+                try:
+                    clause = inboxes[worker_id].get_nowait()
+                except queue_module.Empty:
+                    break
+                solver.add_clause(clause)
+                imported += 1
+        cube_start = time.perf_counter()
+        result = solver.solve(
+            assumptions=query.assumptions + list(literals),
+            max_conflicts=budget,
+        )
+        exported = 0
+        if inboxes is not None:
+            for clause in solver.drain_exported():
+                delivered = False
+                for peer, inbox in enumerate(inboxes):
+                    if peer == worker_id:
+                        continue
+                    try:
+                        inbox.put_nowait(clause)
+                        delivered = True
+                    except queue_module.Full:
+                        continue
+                if delivered:
+                    exported += 1
+        model = result.model
+        if model is not None and reduction is not None:
+            model = reduction.extend_model(model)
+        results.put(
+            (
+                worker_id,
+                tuple(literals),
+                depth,
+                result.status.value,
+                model,
+                (
+                    result.stats.conflicts,
+                    result.stats.decisions,
+                    result.stats.propagations,
+                    result.stats.learned_clauses,
+                ),
+                imported,
+                exported,
+                personality.name,
+                time.perf_counter() - cube_start,
+            )
+        )

@@ -26,6 +26,7 @@ from repro.eval.campaign import (
 from repro.eval.report import (
     design_inventory,
     detection_breakdown,
+    distributed_proof_statistics,
     format_table,
     formula_reduction_statistics,
     runtime_statistics,
@@ -45,6 +46,7 @@ __all__ = [
     "run_campaign",
     "design_inventory",
     "detection_breakdown",
+    "distributed_proof_statistics",
     "format_table",
     "formula_reduction_statistics",
     "runtime_statistics",

@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.dist.scheduler import SplitConfig
 from repro.isa.arch import ArchParams, TINY_PROFILE
 from repro.indverif.crs import CRSConfig, ConstrainedRandomSim
 from repro.indverif.dst import default_directed_suite
@@ -108,7 +109,14 @@ FEATURE_PRIORITY: Tuple[str, ...] = ("eddiv", "qed_cf", "qed_mem", "single_i")
 
 @dataclass
 class CampaignConfig:
-    """Configuration of a campaign run."""
+    """Configuration of a campaign run.
+
+    ``split`` routes every QED BMC query through the distributed proof
+    engine (cube-and-conquer + portfolio, see :mod:`repro.dist`); it
+    composes with ``run_campaign(workers=N)``: the pool fans out over bugs,
+    and each bug's hard query can additionally fan out over cubes.  Leave it
+    ``None`` inside an outer process pool unless cores are plentiful.
+    """
 
     arch: ArchParams = TINY_PROFILE
     bug_ids: Optional[Sequence[str]] = None
@@ -117,6 +125,7 @@ class CampaignConfig:
     crs_config: CRSConfig = field(default_factory=CRSConfig)
     exhaustive: bool = False
     extra_bound: int = 0
+    split: Optional[SplitConfig] = None
 
 
 @dataclass
@@ -135,6 +144,10 @@ class BugDetectionRecord:
     qed_variables_eliminated: int = 0
     qed_clauses_subsumed: int = 0
     qed_preprocess_seconds: float = 0.0
+    #: Distributed proof engine work (zero when the run was sequential).
+    qed_cubes_solved: int = 0
+    qed_cubes_resplit: int = 0
+    qed_clauses_shared: int = 0
     single_i_runtime_seconds: float = 0.0
     crs_detected: bool = False
     ocsfv_detected: bool = False
@@ -210,7 +223,7 @@ def _run_qed_feature(
         focus_opcodes=opcodes if mode is not QEDMode.EDDIV_MEM else None,
         tracked_registers=(0,),
     )
-    result = harness.check(max_bound=bound)
+    result = harness.check(max_bound=bound, split=config.split)
     feature = {
         QEDMode.EDDIV: "eddiv",
         QEDMode.EDDIV_CF: "qed_cf",
@@ -226,6 +239,9 @@ def _run_qed_feature(
     record.qed_variables_eliminated = result.bmc_result.variables_eliminated
     record.qed_clauses_subsumed = result.bmc_result.clauses_subsumed
     record.qed_preprocess_seconds = result.bmc_result.preprocess_seconds
+    record.qed_cubes_solved = result.cubes_solved
+    record.qed_cubes_resplit = result.cubes_resplit
+    record.qed_clauses_shared = result.clauses_shared
 
 
 def detect_bug(bug_id: str, config: Optional[CampaignConfig] = None) -> BugDetectionRecord:

@@ -170,6 +170,16 @@ class CNFBuilder:
         """Eliminated variables later re-encoded (solver-assigned; copy)."""
         return set(self._restored_vars)
 
+    @property
+    def eliminated_vars(self) -> Set[int]:
+        """Variables currently missing their defining clauses (copy).
+
+        Such a variable occurs in no clause until a later cone reference
+        restores it; constraining it (e.g. as a cube split variable) is a
+        no-op, so clients selecting variables should skip these.
+        """
+        return set(self._eliminated_vars)
+
     def mark_eliminated(self, variables: Iterable[int]) -> None:
         """Record variables whose defining clauses preprocessing removed.
 

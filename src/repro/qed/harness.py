@@ -12,11 +12,12 @@ consistency property are the whole specification.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bmc.engine import BMCProblem, BMCResult, BMCStatus, BoundedModelChecker
 from repro.bmc.property import SafetyProperty
+from repro.dist.scheduler import SplitConfig
 from repro.expr.bitvec import BVVar
 from repro.isa.arch import ArchParams, TINY_PROFILE
 from repro.qed.consistency import (
@@ -80,6 +81,21 @@ class QEDCheckResult:
     def learned_clauses_reused(self) -> int:
         """Learned clauses inherited by later bounds from earlier ones."""
         return self.bmc_result.learned_clauses_reused
+
+    @property
+    def cubes_solved(self) -> int:
+        """Cubes answered by the distributed proof engine (0 sequential)."""
+        return self.bmc_result.cubes_solved
+
+    @property
+    def cubes_resplit(self) -> int:
+        """Dynamic cube re-splits across the run (0 sequential)."""
+        return self.bmc_result.cubes_resplit
+
+    @property
+    def clauses_shared(self) -> int:
+        """Learned clauses exchanged between workers (0 sequential)."""
+        return self.bmc_result.clauses_shared
 
     @property
     def counterexample_cycles(self) -> int:
@@ -186,6 +202,7 @@ class SymbolicQED:
         single_query: bool = True,
         preprocess: bool = True,
         max_conflicts_per_query: Optional[int] = None,
+        split: Optional[SplitConfig] = None,
     ) -> QEDCheckResult:
         """Run BMC from the QED-consistent start state up to *max_bound*.
 
@@ -200,7 +217,16 @@ class SymbolicQED:
         forwards a per-bound solver budget -- the engine answers UNKNOWN for
         a bound whose budget expires, which conflict-budget depth ablations
         use to compare how deep different pipelines prove.
+
+        ``split`` routes every bound's query through the distributed proof
+        engine (:mod:`repro.dist`): cube-and-conquer over the QED property
+        window and the instruction-port bits (the focus-set opcode choice),
+        raced over ``split.workers`` processes.  Unless the config already
+        names preferred split inputs, the harness points it at the core's
+        instruction port so cubes partition by injected opcode.
         """
+        if split is not None and not split.prefer_input_prefixes:
+            split = replace(split, prefer_input_prefixes=("instr_in",))
         problem = BMCProblem(
             design=self.design,
             prop=self.prop,
@@ -211,6 +237,7 @@ class SymbolicQED:
             bound_schedule=[max_bound] if single_query else None,
             preprocess=preprocess,
             max_conflicts_per_query=max_conflicts_per_query,
+            split=split,
         )
         result = BoundedModelChecker(problem).run()
 

@@ -9,12 +9,13 @@ the same pipeline from scratch).  This package provides:
 * :mod:`repro.sat.solver` -- a CDCL (conflict-driven clause learning) solver
   with two-watched-literal propagation, VSIDS branching, first-UIP conflict
   analysis, Luby restarts and phase saving.
-* :mod:`repro.sat.simplify` -- lightweight preprocessing (unit propagation,
-  pure-literal elimination, tautology/duplicate removal).
-* :mod:`repro.sat.preprocess` -- SatELite-style formula reduction (bounded
-  variable elimination, subsumption, self-subsuming resolution,
-  failed-literal probing) with a frozen-variable contract that makes it
-  sound for the incremental BMC engine's per-bound clause slabs.
+* :mod:`repro.sat.preprocess` -- the single preprocessing code path:
+  SatELite-style formula reduction (bounded variable elimination,
+  subsumption, self-subsuming resolution, failed-literal probing, optional
+  blocked-clause elimination) with a frozen-variable contract that makes it
+  sound for the incremental BMC engine's per-bound clause slabs, plus the
+  lightweight whole-CNF clean-up :func:`repro.sat.preprocess.simplify_cnf`
+  (formerly :mod:`repro.sat.simplify`, now a deprecated shim).
 
 The public entry point used by the rest of the library is
 :func:`repro.sat.solve`.
@@ -28,12 +29,14 @@ from repro.sat.solver import (
     SolverStatus,
     solve,
 )
-from repro.sat.simplify import simplify_cnf
 from repro.sat.preprocess import (
     PreprocessResult,
     PreprocessStats,
+    SimplificationResult,
     extend_model,
     preprocess,
+    reconstruct_blocked,
+    simplify_cnf,
 )
 
 __all__ = [
@@ -48,8 +51,10 @@ __all__ = [
     "SolverStatus",
     "solve",
     "simplify_cnf",
+    "SimplificationResult",
     "PreprocessResult",
     "PreprocessStats",
     "extend_model",
     "preprocess",
+    "reconstruct_blocked",
 ]

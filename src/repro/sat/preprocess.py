@@ -1,8 +1,11 @@
-"""SatELite-style CNF preprocessing for the incremental BMC pipeline.
+"""CNF preprocessing: the single formula-reduction code path.
 
-This is the heavy-duty companion of :mod:`repro.sat.simplify`: where that
-module only cleans clauses up, this one *shrinks the formula before the
-solver sees it* with the three classic SatELite techniques:
+The heavy-duty entry point :func:`preprocess` *shrinks the formula before
+the solver sees it* with the three classic SatELite techniques (plus an
+optional blocked-clause pass); the gentle entry point :func:`simplify_cnf`
+(absorbed from the retired ``repro.sat.simplify`` module) only cleans a
+whole CNF up without touching the variable space.  :func:`preprocess`
+applies:
 
 * **bounded variable elimination** (BVE) -- a non-frozen variable is
   resolved away when the set of non-tautological resolvents is no larger
@@ -14,6 +17,10 @@ solver sees it* with the three classic SatELite techniques:
   flipped) is strengthened by removing that literal.
 * **failed-literal probing** -- assuming a literal and running unit
   propagation; a conflict proves the complement at top level.
+* **blocked-clause elimination** (optional, ``enable_blocked=True``) -- a
+  clause all of whose resolvents on one literal are tautological is
+  removed; sound for whole formulas only (never per-bound slabs), see
+  :func:`preprocess`.
 
 The preprocessor is designed to compose with the *incremental* BMC engine:
 it operates on a clause *slab* (the clauses newly encoded for one bound) and
@@ -47,11 +54,15 @@ from typing import (
     Tuple,
 )
 
-from repro.sat.cnf import Literal
+from repro.sat.cnf import CNF, Literal, var_of
 
 #: Reconstruction stack entry: the variable and the clauses its elimination
 #: removed (recorded *before* removal, in the original variable space).
 EliminationRecord = Tuple[int, List[List[Literal]]]
+
+#: Blocked-clause reconstruction entry: the blocking literal and the removed
+#: clause (see :func:`reconstruct_blocked`).
+BlockedRecord = Tuple[Literal, List[Literal]]
 
 
 @dataclass
@@ -63,6 +74,7 @@ class PreprocessStats:
     units_derived: int = 0
     clauses_subsumed: int = 0
     literals_strengthened: int = 0
+    clauses_blocked: int = 0
     variables_eliminated: int = 0
     resolvents_added: int = 0
     probes: int = 0
@@ -77,6 +89,7 @@ class PreprocessStats:
         self.units_derived += other.units_derived
         self.clauses_subsumed += other.clauses_subsumed
         self.literals_strengthened += other.literals_strengthened
+        self.clauses_blocked += other.clauses_blocked
         self.variables_eliminated += other.variables_eliminated
         self.resolvents_added += other.resolvents_added
         self.probes += other.probes
@@ -98,12 +111,21 @@ class PreprocessResult:
     clauses: List[List[Literal]]
     stats: PreprocessStats
     eliminated: List[EliminationRecord] = field(default_factory=list)
+    #: Blocked clauses removed by the (optional) BCE pass, in removal order.
+    blocked: List[BlockedRecord] = field(default_factory=list)
     unsat: bool = False
 
     def extend_model(
         self, model: List[bool], skip: AbstractSet[int] = frozenset()
     ) -> List[bool]:
-        """Extend *model* over this result's eliminated variables."""
+        """Extend *model* over this result's removed structure.
+
+        Reconstruction replays removals in reverse chronological order: the
+        BCE pass runs last, so blocked clauses are repaired first
+        (:func:`reconstruct_blocked`), then the eliminated variables are
+        re-derived (:func:`extend_model`).
+        """
+        model = reconstruct_blocked(model, self.blocked)
         return extend_model(model, self.eliminated, skip)
 
 
@@ -125,11 +147,14 @@ class _Preprocessor:
         frozen_cutoff: int,
         bve_clause_limit: int,
         bve_occurrence_limit: int,
+        bce_occurrence_limit: int = 24,
     ) -> None:
         self.frozen = frozen
         self.frozen_cutoff = frozen_cutoff
         self.bve_clause_limit = bve_clause_limit
         self.bve_occurrence_limit = bve_occurrence_limit
+        self.bce_occurrence_limit = bce_occurrence_limit
+        self.blocked: List[BlockedRecord] = []
         self.unsat = False
         self.fixed: Dict[int, bool] = {}
         self.clauses: List[Optional[List[Literal]]] = []
@@ -449,6 +474,69 @@ class _Preprocessor:
         return False, visits
 
     # ------------------------------------------------------------------
+    # Blocked-clause elimination
+    # ------------------------------------------------------------------
+    def _clause_blocked_on(self, clause: List[Literal], lit: Literal) -> bool:
+        """Whether every resolvent of *clause* on *lit* is tautological."""
+        rest = {l for l in clause if l != lit}
+        for cid in self.occs.get(-lit, ()):
+            other = self.clauses[cid]
+            if other is None:
+                continue
+            other_set = set(other)
+            if not any(-l in other_set for l in rest):
+                return False
+        return True
+
+    def _bce_pass(self) -> None:
+        """Remove blocked clauses (a final, optional pass).
+
+        A clause is *blocked* on one of its literals when every resolvent on
+        that literal is tautological; removing it preserves satisfiability
+        (Kullmann), and a model of the remainder is repaired by flipping the
+        blocking literal whenever the removed clause is unsatisfied
+        (:func:`reconstruct_blocked`).  Pure literals are the degenerate
+        case (no resolvents at all), so this pass generalises pure-literal
+        elimination.
+
+        Two restrictions keep the pass safe in this codebase: frozen
+        variables never act as blocking literals (their value is observed
+        elsewhere, e.g. by solver assumptions), and -- unlike every other
+        transformation here -- blocked-clause elimination is **not** sound
+        on a slab of a larger formula (an outside clause can produce a
+        non-tautological resolvent), so the caller must only enable it on a
+        complete formula.
+        """
+        queue: List[int] = [
+            cid for cid, clause in enumerate(self.clauses) if clause is not None
+        ]
+        in_queue = set(queue)
+        while queue and not self.unsat:
+            cid = queue.pop()
+            in_queue.discard(cid)
+            clause = self.clauses[cid]
+            if clause is None:
+                continue
+            for lit in clause:
+                variable = lit if lit > 0 else -lit
+                if variable <= self.frozen_cutoff or variable in self.frozen:
+                    continue
+                if len(self.occs.get(-lit, ())) > self.bce_occurrence_limit:
+                    continue
+                if self._clause_blocked_on(clause, lit):
+                    self.blocked.append((lit, list(clause)))
+                    self._remove_clause(cid)
+                    self.stats.clauses_blocked += 1
+                    # Removing a clause can newly block clauses that used to
+                    # resolve against it: re-examine the resolution partners.
+                    for other_lit in clause:
+                        for ocid in self.occs.get(-other_lit, ()):
+                            if ocid not in in_queue:
+                                in_queue.add(ocid)
+                                queue.append(ocid)
+                    break
+
+    # ------------------------------------------------------------------
     def output_clauses(self) -> List[List[Literal]]:
         if self.unsat:
             return [[]]
@@ -470,8 +558,10 @@ def preprocess(
     enable_subsumption: bool = True,
     enable_elimination: bool = True,
     enable_probing: bool = True,
+    enable_blocked: bool = False,
     bve_clause_limit: int = 8,
     bve_occurrence_limit: int = 12,
+    bce_occurrence_limit: int = 24,
     probe_limit: int = 2000,
     probe_visit_budget: int = 2_000_000,
 ) -> PreprocessResult:
@@ -487,10 +577,26 @@ def preprocess(
     occurring outside the slab are frozen (facts derived from a subset hold
     for the whole formula, and elimination is restricted to slab-local
     variables).
+
+    ``enable_blocked`` (off by default) runs blocked-clause elimination as
+    a final pass.  **Exception to the slab contract above:** BCE only
+    preserves satisfiability when *clauses* is the complete formula --
+    a clause outside the slab can produce a non-tautological resolvent on
+    the blocking literal -- so only enable it for whole-formula
+    preprocessing (e.g. a portfolio worker building its own solver), never
+    for the incremental engine's per-bound slabs.  BCE also changes the
+    model: use :meth:`PreprocessResult.extend_model` (which repairs blocked
+    clauses before re-deriving eliminated variables) rather than the
+    module-level :func:`extend_model`.
     """
     start = time.perf_counter()
     state = _Preprocessor(
-        clauses, frozen, frozen_cutoff, bve_clause_limit, bve_occurrence_limit
+        clauses,
+        frozen,
+        frozen_cutoff,
+        bve_clause_limit,
+        bve_occurrence_limit,
+        bce_occurrence_limit,
     )
     for round_index in range(max_rounds):
         if state.unsat:
@@ -519,6 +625,8 @@ def preprocess(
             changed |= state.stats.failed_literals > failed_before
         if not changed:
             break
+    if enable_blocked and not state.unsat:
+        state._bce_pass()
     result_clauses = state.output_clauses()
     state.stats.clauses_out = len(result_clauses)
     state.stats.time_seconds = time.perf_counter() - start
@@ -526,6 +634,7 @@ def preprocess(
         clauses=result_clauses,
         stats=state.stats,
         eliminated=state.eliminated,
+        blocked=state.blocked,
         unsat=state.unsat,
     )
 
@@ -574,3 +683,113 @@ def extend_model(
                 break
         extended[variable] = value
     return extended
+
+
+def reconstruct_blocked(
+    model: List[bool], blocked: Sequence[BlockedRecord]
+) -> List[bool]:
+    """Repair *model* for the clauses a BCE pass removed.
+
+    Unlike an eliminated variable, a blocking variable still occurs in the
+    remaining formula, so it already has a meaningful model value -- it is
+    only *flipped* (to the blocking literal's polarity) when the removed
+    clause is not otherwise satisfied.  Flipping is sound because every
+    clause containing the complement of the blocking literal resolves
+    tautologically with the removed clause: such a clause contains the
+    complement of another literal of the removed clause, and that literal
+    is false in the model (the clause was unsatisfied), so the complement
+    keeps the clause satisfied.  Removals are replayed in reverse order.
+    """
+    extended = list(model)
+    needed = 0
+    for lit, clause in blocked:
+        for other in clause:
+            needed = max(needed, other if other > 0 else -other)
+    if len(extended) < needed + 1:
+        extended.extend([False] * (needed + 1 - len(extended)))
+    for lit, clause in reversed(blocked):
+        satisfied = False
+        for other in clause:
+            variable = other if other > 0 else -other
+            if extended[variable] == (other > 0):
+                satisfied = True
+                break
+        if not satisfied:
+            extended[lit if lit > 0 else -lit] = lit > 0
+    return extended
+
+
+# ----------------------------------------------------------------------
+# Legacy lightweight simplification (absorbed from repro.sat.simplify)
+# ----------------------------------------------------------------------
+@dataclass
+class SimplificationResult:
+    """Outcome of :func:`simplify_cnf`."""
+
+    cnf: CNF
+    fixed: Dict[int, bool] = field(default_factory=dict)
+    unsatisfiable: bool = False
+
+    def extend_model(self, model: List[bool]) -> List[bool]:
+        """Overlay the preprocessing-fixed variables onto *model*."""
+        extended = list(model)
+        needed = max(self.fixed, default=0) + 1
+        if len(extended) < needed:
+            extended.extend([False] * (needed - len(extended)))
+        for variable, value in self.fixed.items():
+            extended[variable] = value
+        return extended
+
+
+def simplify_cnf(cnf: CNF) -> SimplificationResult:
+    """Lightweight clause-level clean-up of a whole :class:`CNF`.
+
+    The gentle sibling of :func:`preprocess`: tautology and duplicate
+    removal, exhaustive top-level unit propagation, and pure-literal
+    elimination -- nothing that changes the variable space, so solver
+    models remain directly usable after
+    :meth:`SimplificationResult.extend_model`.  (Pure-literal elimination
+    is the degenerate case of the blocked-clause pass above; it is kept
+    here because this entry point reports *fixed values* rather than a
+    reconstruction stack.)
+
+    Built on the same :class:`_Preprocessor` core as :func:`preprocess`
+    (clause intake + unit propagation), with every reduction pass disabled;
+    only the single-scan pure-literal step is specific to this entry point.
+    """
+    state = _Preprocessor(
+        cnf.clauses,
+        frozen=frozenset(),
+        frozen_cutoff=0,
+        bve_clause_limit=0,
+        bve_occurrence_limit=0,
+    )
+    if state.unsat:
+        return SimplificationResult(
+            cnf=cnf.copy(), fixed=dict(state.fixed), unsatisfiable=True
+        )
+    fixed: Dict[int, bool] = dict(state.fixed)
+
+    # Pure-literal elimination (single scan, matching the legacy entry
+    # point): a variable occurring in one polarity only is fixed to it and
+    # its clauses dropped.
+    pure: Dict[int, bool] = {}
+    for literal, occurrences in state.occs.items():
+        if not occurrences:
+            continue
+        variable = var_of(literal)
+        if variable in fixed or variable in pure:
+            continue
+        if not state.occs.get(-literal):
+            pure[variable] = literal > 0
+    for variable, value in pure.items():
+        fixed.setdefault(variable, value)
+
+    simplified = CNF(cnf.num_vars)
+    for clause in state.clauses:
+        if clause is None:
+            continue
+        if any(var_of(literal) in pure for literal in clause):
+            continue
+        simplified.add_clause(list(clause))
+    return SimplificationResult(cnf=simplified, fixed=fixed)

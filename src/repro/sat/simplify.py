@@ -1,138 +1,25 @@
-"""Lightweight CNF preprocessing.
+"""Deprecated shim -- the lightweight simplifier moved to
+:mod:`repro.sat.preprocess`.
 
-The bit-blaster in :mod:`repro.expr` already does constant folding and
-structural hashing, so the CNF it emits is fairly compact; this module adds
-inexpensive clause-level clean-up that still pays for itself on BMC problems:
-
-* removal of tautological clauses and duplicate literals,
-* top-level unit propagation (with the implied literal substitution),
-* pure-literal elimination.
-
-The result is a new :class:`~repro.sat.cnf.CNF` plus a map of variables fixed
-by preprocessing, so models of the simplified formula can be extended back to
-the original variable space.
+There is one preprocessing code path now: :func:`repro.sat.preprocess.preprocess`
+for the heavy SatELite-style reduction and
+:func:`repro.sat.preprocess.simplify_cnf` for the gentle whole-CNF clean-up
+this module used to provide.  Import from :mod:`repro.sat` (or
+:mod:`repro.sat.preprocess`) instead; this shim re-exports the moved names
+and will be removed in a future PR.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+import warnings
 
-from repro.sat.cnf import CNF, Literal, var_of
+from repro.sat.preprocess import SimplificationResult, simplify_cnf
 
+__all__ = ["SimplificationResult", "simplify_cnf"]
 
-@dataclass
-class SimplificationResult:
-    """Outcome of :func:`simplify_cnf`."""
-
-    cnf: CNF
-    fixed: Dict[int, bool] = field(default_factory=dict)
-    unsatisfiable: bool = False
-
-    def extend_model(self, model: List[bool]) -> List[bool]:
-        """Overlay the preprocessing-fixed variables onto *model*."""
-        extended = list(model)
-        needed = max(self.fixed, default=0) + 1
-        if len(extended) < needed:
-            extended.extend([False] * (needed - len(extended)))
-        for variable, value in self.fixed.items():
-            extended[variable] = value
-        return extended
-
-
-def _propagate_units(
-    clauses: List[List[Literal]], fixed: Dict[int, bool]
-) -> Optional[List[List[Literal]]]:
-    """Exhaustively apply unit propagation at the top level.
-
-    Returns the reduced clause list, or ``None`` if a conflict was found.
-    """
-    changed = True
-    while changed:
-        changed = False
-        units = [clause[0] for clause in clauses if len(clause) == 1]
-        if not units:
-            break
-        for literal in units:
-            variable = var_of(literal)
-            value = literal > 0
-            if variable in fixed and fixed[variable] != value:
-                return None
-            fixed[variable] = value
-        new_clauses: List[List[Literal]] = []
-        for clause in clauses:
-            satisfied = False
-            reduced: List[Literal] = []
-            for literal in clause:
-                variable = var_of(literal)
-                if variable in fixed:
-                    if (literal > 0) == fixed[variable]:
-                        satisfied = True
-                        break
-                else:
-                    reduced.append(literal)
-            if satisfied:
-                changed = True
-                continue
-            if not reduced:
-                return None
-            if len(reduced) != len(clause):
-                changed = True
-            new_clauses.append(reduced)
-        clauses = new_clauses
-    return clauses
-
-
-def simplify_cnf(cnf: CNF) -> SimplificationResult:
-    """Simplify *cnf* and report fixed variables.
-
-    The returned formula shares the original variable numbering, so solver
-    models remain directly usable after :meth:`SimplificationResult.extend_model`.
-    """
-    fixed: Dict[int, bool] = {}
-    clauses: List[List[Literal]] = []
-    for clause in cnf.clauses:
-        seen: Set[Literal] = set()
-        tautology = False
-        cleaned: List[Literal] = []
-        for literal in clause:
-            if -literal in seen:
-                tautology = True
-                break
-            if literal not in seen:
-                seen.add(literal)
-                cleaned.append(literal)
-        if tautology:
-            continue
-        clauses.append(cleaned)
-
-    propagated = _propagate_units(clauses, fixed)
-    if propagated is None:
-        empty = CNF(cnf.num_vars)
-        empty.add_clause([1]) if cnf.num_vars else None
-        return SimplificationResult(cnf=cnf.copy(), fixed=fixed, unsatisfiable=True)
-    clauses = propagated
-
-    # Pure-literal elimination.
-    polarity: Dict[int, Set[bool]] = {}
-    for clause in clauses:
-        for literal in clause:
-            polarity.setdefault(var_of(literal), set()).add(literal > 0)
-    pure = {
-        variable: next(iter(signs))
-        for variable, signs in polarity.items()
-        if len(signs) == 1
-    }
-    if pure:
-        for variable, value in pure.items():
-            fixed.setdefault(variable, value)
-        clauses = [
-            clause
-            for clause in clauses
-            if not any(var_of(lit) in pure for lit in clause)
-        ]
-
-    simplified = CNF(cnf.num_vars)
-    for clause in clauses:
-        simplified.add_clause(clause)
-    return SimplificationResult(cnf=simplified, fixed=fixed)
+warnings.warn(
+    "repro.sat.simplify is deprecated; simplify_cnf and SimplificationResult "
+    "now live in repro.sat.preprocess (re-exported from repro.sat)",
+    DeprecationWarning,
+    stacklevel=2,
+)

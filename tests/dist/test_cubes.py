@@ -1,0 +1,119 @@
+"""Cube-generator soundness: every cube set must partition the space.
+
+The distributed proof's UNSAT merge ("all cubes UNSAT => query UNSAT") is
+only sound when the disjunction of the cubes is a tautology over the split
+variables, and work is only non-duplicated when they are pairwise disjoint.
+These tests check both properties by brute-force enumeration
+(:func:`repro.dist.cubes.validate_partition`) over randomly generated split
+configurations, property-style via hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.cubes import (
+    Cube,
+    binary_cubes,
+    ladder_cubes,
+    product_cubes,
+    split_cube,
+    validate_partition,
+)
+
+
+@st.composite
+def _distinct_vars(draw, min_size=1, max_size=6):
+    return draw(
+        st.lists(
+            st.integers(min_value=1, max_value=40),
+            min_size=min_size,
+            max_size=max_size,
+            unique=True,
+        )
+    )
+
+
+@st.composite
+def _distinct_literals(draw, min_size=1, max_size=6):
+    variables = draw(_distinct_vars(min_size=min_size, max_size=max_size))
+    signs = draw(
+        st.lists(
+            st.sampled_from([1, -1]),
+            min_size=len(variables),
+            max_size=len(variables),
+        )
+    )
+    return [sign * var for sign, var in zip(signs, variables)]
+
+
+class TestPartitionProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(variables=_distinct_vars(), depth=st.integers(0, 6))
+    def test_binary_cubes_partition(self, variables, depth):
+        cubes = binary_cubes(variables, depth)
+        assert len(cubes) == 2 ** min(depth, len(variables))
+        validate_partition(cubes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(literals=_distinct_literals())
+    def test_ladder_cubes_partition(self, literals):
+        cubes = ladder_cubes(literals)
+        assert len(cubes) == len(literals) + 1
+        validate_partition(cubes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ladder_lits=_distinct_literals(max_size=4),
+        tree_vars=_distinct_vars(max_size=3),
+        depth=st.integers(0, 3),
+    )
+    def test_product_of_partitions_partitions(
+        self, ladder_lits, tree_vars, depth
+    ):
+        # The two axes must use disjoint variables, as the engine guarantees
+        # (window roots are excluded from look-ahead candidates).
+        ladder_vars = {abs(lit) for lit in ladder_lits}
+        tree_vars = [v + 50 for v in tree_vars if v + 50 not in ladder_vars]
+        cubes = product_cubes(
+            ladder_cubes(ladder_lits), binary_cubes(tree_vars, depth)
+        )
+        validate_partition(cubes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(literals=_distinct_literals(max_size=4), index=st.integers(0, 10))
+    def test_resplit_preserves_the_partition(self, literals, index):
+        cubes = list(ladder_cubes(literals))
+        victim = cubes.pop(index % len(cubes))
+        fresh_var = max(abs(lit) for lit in literals) + 1
+        left, right = split_cube(victim, fresh_var)
+        assert left.depth == victim.depth + 1
+        validate_partition(cubes + [left, right])
+
+
+class TestValidatePartition:
+    def test_rejects_uncovered_space(self):
+        with pytest.raises(AssertionError, match="not a tautology"):
+            validate_partition([Cube((1,)), Cube((-1, 2))])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(AssertionError, match="overlap"):
+            validate_partition([Cube((1,)), Cube((-1,)), Cube((2,))])
+
+    def test_refuses_exponential_blowups(self):
+        cubes = [Cube(tuple(range(1, 25)))]
+        with pytest.raises(ValueError, match="2\\^24"):
+            validate_partition(cubes)
+
+
+class TestSplitCube:
+    def test_rejects_already_constrained_variable(self):
+        with pytest.raises(ValueError, match="already constrains"):
+            split_cube(Cube((3, -4)), 4)
+
+    def test_rejects_non_variable(self):
+        with pytest.raises(ValueError, match="positive variable"):
+            split_cube(Cube(()), -2)
+
+    def test_empty_cube_binary_split_is_total(self):
+        validate_partition(list(split_cube(Cube(()), 7)))

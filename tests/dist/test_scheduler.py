@@ -1,0 +1,231 @@
+"""Work scheduler, portfolio runner and split-variable selection."""
+
+import dataclasses
+
+import pytest
+
+from repro.dist.cubes import Cube, binary_cubes, ladder_cubes
+from repro.dist.portfolio import (
+    DIVERSE_CONFIGS,
+    PortfolioConfig,
+    solve_portfolio,
+)
+from repro.dist.scheduler import (
+    SplitConfig,
+    SplitQuery,
+    WorkScheduler,
+)
+from repro.sat.solver import SolverStatus
+
+# x1|x2 and x3|x4 but every cross pair forbidden: UNSAT.
+UNSAT_CLAUSES = [[1, 2], [3, 4], [-1, -3], [-1, -4], [-2, -3], [-2, -4]]
+# Satisfiable with 3 forced true whenever 1 or 2 holds.
+SAT_CLAUSES = [[1, 2], [-1, 3], [-2, 3]]
+
+
+def _query(clauses, num_vars, cubes, **kwargs):
+    return SplitQuery(
+        clauses=[list(c) for c in clauses],
+        num_vars=num_vars,
+        cubes=cubes,
+        **kwargs,
+    )
+
+
+class TestSplitConfigValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            SplitConfig(workers=0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            SplitConfig(strategy="divine-intervention")
+
+    def test_rejects_empty_configs(self):
+        with pytest.raises(ValueError, match="configs"):
+            SplitConfig(configs=())
+
+
+class TestSequentialScheduler:
+    def test_all_cubes_unsat_means_unsat(self):
+        query = _query(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        result = WorkScheduler(SplitConfig(workers=1)).solve(query)
+        assert result.status is SolverStatus.UNSAT
+        assert result.stats.cubes_total == 4
+        assert all(c.verdict == "unsat" for c in result.stats.cubes)
+
+    def test_sat_cube_wins_with_model(self):
+        query = _query(SAT_CLAUSES, 3, ladder_cubes([1, 2]))
+        result = WorkScheduler(SplitConfig(workers=1)).solve(query)
+        assert result.status is SolverStatus.SAT
+        assert result.model is not None
+        for clause in SAT_CLAUSES:
+            assert any((l > 0) == result.model[abs(l)] for l in clause)
+
+    def test_base_assumptions_apply_to_every_cube(self):
+        # Assuming -3 refutes every cube: [1,2] forces 1 or 2, either of
+        # which forces 3.  A cube ignoring the base assumption would answer
+        # SAT, so the UNSAT merge proves the assumptions reached all cubes.
+        query = _query(
+            SAT_CLAUSES, 3, ladder_cubes([1, 2]), assumptions=[-3]
+        )
+        result = WorkScheduler(SplitConfig(workers=1)).solve(query)
+        assert result.status is SolverStatus.UNSAT
+        assert all(c.verdict == "unsat" for c in result.stats.cubes)
+
+    def test_budget_overrun_resplits_and_still_proves(self):
+        query = _query(
+            UNSAT_CLAUSES,
+            4,
+            [Cube(())],
+            resplit_vars=[1, 2, 3, 4],
+        )
+        config = SplitConfig(workers=1, cube_conflict_budget=0)
+        result = WorkScheduler(config).solve(query)
+        assert result.status is SolverStatus.UNSAT
+        assert result.stats.resplits > 0
+        assert any(c.depth > 0 for c in result.stats.cubes)
+
+    def test_global_conflict_budget_yields_unknown(self):
+        query = _query(
+            UNSAT_CLAUSES, 4, [Cube(())], max_conflicts=0
+        )
+        config = SplitConfig(workers=1, cube_conflict_budget=0)
+        result = WorkScheduler(config).solve(query)
+        assert result.status is SolverStatus.UNKNOWN
+
+    def test_single_worker_runs_are_deterministic(self):
+        def run():
+            query = _query(
+                UNSAT_CLAUSES,
+                4,
+                binary_cubes([1, 2], 2),
+                resplit_vars=[3, 4],
+            )
+            result = WorkScheduler(
+                SplitConfig(workers=1, cube_conflict_budget=1)
+            ).solve(query)
+            return (
+                result.status,
+                [
+                    (c.literals, c.verdict, c.depth, c.conflicts, c.decisions)
+                    for c in result.stats.cubes
+                ],
+            )
+
+        assert run() == run()
+
+
+class TestParallelScheduler:
+    def test_unsat_merge_across_workers(self):
+        query = _query(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        result = WorkScheduler(SplitConfig(workers=2)).solve(query)
+        assert result.status is SolverStatus.UNSAT
+        assert result.stats.cubes_total == 4
+
+    def test_sat_model_from_any_worker_satisfies_formula(self):
+        query = _query(SAT_CLAUSES, 3, ladder_cubes([1, 2]))
+        result = WorkScheduler(SplitConfig(workers=2)).solve(query)
+        assert result.status is SolverStatus.SAT
+        for clause in SAT_CLAUSES:
+            assert any((l > 0) == result.model[abs(l)] for l in clause)
+
+    def test_parallel_resplit_terminates(self):
+        query = _query(
+            UNSAT_CLAUSES, 4, [Cube(())], resplit_vars=[1, 2, 3, 4]
+        )
+        config = SplitConfig(workers=2, cube_conflict_budget=0)
+        result = WorkScheduler(config).solve(query)
+        assert result.status is SolverStatus.UNSAT
+        assert result.stats.resplits > 0
+
+    def test_clause_sharing_disabled_still_correct(self):
+        query = _query(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        config = SplitConfig(workers=2, share_clauses=False)
+        result = WorkScheduler(config).solve(query)
+        assert result.status is SolverStatus.UNSAT
+
+
+class TestPortfolio:
+    def test_race_finds_unsat(self):
+        outcome = solve_portfolio(
+            [list(c) for c in UNSAT_CLAUSES], 4, workers=2
+        )
+        assert outcome.status is SolverStatus.UNSAT
+        assert outcome.winner in {c.name for c in DIVERSE_CONFIGS}
+
+    def test_race_finds_sat_model(self):
+        outcome = solve_portfolio(
+            [list(c) for c in SAT_CLAUSES], 3, workers=3
+        )
+        assert outcome.status is SolverStatus.SAT
+        for clause in SAT_CLAUSES:
+            assert any((l > 0) == outcome.model[abs(l)] for l in clause)
+
+    def test_single_worker_race_is_inline_and_deterministic(self):
+        def run():
+            return solve_portfolio(
+                [list(c) for c in UNSAT_CLAUSES], 4, workers=1
+            )
+
+        first, second = run(), run()
+        assert first.status is SolverStatus.UNSAT
+        assert first.conflicts == second.conflicts
+        assert first.winner == second.winner == DIVERSE_CONFIGS[0].name
+
+    def test_preprocessed_personality_extends_models(self):
+        config = PortfolioConfig("pre", preprocess=True)
+        # Freeze nothing: Tseitin-style var 3 gets eliminated, and the
+        # returned model must still assign it correctly.
+        outcome = solve_portfolio(
+            [list(c) for c in SAT_CLAUSES],
+            3,
+            configs=(config,),
+            workers=1,
+        )
+        assert outcome.status is SolverStatus.SAT
+        for clause in SAT_CLAUSES:
+            assert any((l > 0) == outcome.model[abs(l)] for l in clause)
+
+    def test_unknown_only_when_every_config_exhausts(self):
+        outcome = solve_portfolio(
+            [list(c) for c in UNSAT_CLAUSES],
+            4,
+            workers=2,
+            max_conflicts=0,
+        )
+        assert outcome.status is SolverStatus.UNKNOWN
+
+    def test_scheduler_portfolio_strategy(self):
+        query = _query(UNSAT_CLAUSES, 4, [Cube(())])
+        result = WorkScheduler(
+            SplitConfig(workers=2, strategy="portfolio")
+        ).solve(query)
+        assert result.status is SolverStatus.UNSAT
+        assert result.stats.winner is not None
+
+
+class TestWorkerPersonalities:
+    def test_personalities_are_distinct(self):
+        names = [c.name for c in DIVERSE_CONFIGS]
+        assert len(names) == len(set(names))
+        assert len(
+            {
+                dataclasses.astuple(
+                    dataclasses.replace(c, name="x")
+                )
+                for c in DIVERSE_CONFIGS
+            }
+        ) == len(DIVERSE_CONFIGS)
+
+    def test_blocked_clause_personality_repairs_models(self):
+        config = PortfolioConfig("pre-bce", preprocess=True, blocked=True)
+        outcome = solve_portfolio(
+            [list(c) for c in SAT_CLAUSES],
+            3,
+            configs=(config,),
+            workers=1,
+        )
+        assert outcome.status is SolverStatus.SAT
+        for clause in SAT_CLAUSES:
+            assert any((l > 0) == outcome.model[abs(l)] for l in clause)

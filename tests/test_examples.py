@@ -29,6 +29,7 @@ def test_examples_importable_without_side_effects():
     for name in (
         "quickstart.py",
         "control_flow_bug_hunt.py",
+        "distributed_proof.py",
         "regression_campaign.py",
         "spec_bug_and_single_i.py",
     ):
