@@ -40,6 +40,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional
 
 from repro.bmc import BMCProblem, BMCResult, BoundedModelChecker, SafetyProperty
@@ -58,65 +59,9 @@ REGRESSION_MIN_SECONDS = 0.5
 
 
 def _bound_stats_rows(result: BMCResult) -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
-    for stats in result.per_bound_stats:
-        row: Dict[str, object] = {
-            "bound": stats.bound,
-            "window_start": stats.window_start,
-            "verdict": stats.verdict,
-            "runtime_seconds": round(stats.runtime_seconds, 6),
-            "conflicts": stats.conflicts,
-            "decisions": stats.decisions,
-            "propagations": stats.propagations,
-            "learned_clauses": stats.learned_clauses,
-            "learned_clauses_carried": stats.learned_clauses_carried,
-            "new_variables": stats.new_variables,
-            "new_clauses": stats.new_clauses,
-            "cone_nodes": stats.cone_nodes,
-            "assumptions_asserted": stats.assumptions_asserted,
-            "assumptions_deferred": stats.assumptions_deferred,
-            "slab_clauses_before": stats.slab_clauses_before,
-            "slab_clauses_after": stats.slab_clauses_after,
-        }
-        if stats.preprocess is not None:
-            row["preprocess"] = {
-                "variables_eliminated": stats.preprocess.variables_eliminated,
-                "clauses_subsumed": stats.preprocess.clauses_subsumed,
-                "literals_strengthened": stats.preprocess.literals_strengthened,
-                "units_derived": stats.preprocess.units_derived,
-                "failed_literals": stats.preprocess.failed_literals,
-                "rounds": stats.preprocess.rounds,
-                "time_seconds": round(stats.preprocess.time_seconds, 6),
-            }
-        if stats.dist is not None:
-            row["dist"] = {
-                "workers": stats.dist.workers,
-                "strategy": stats.dist.strategy,
-                "cubes_total": stats.dist.cubes_total,
-                "cubes_sat": stats.dist.cubes_sat,
-                "cubes_unsat": stats.dist.cubes_unsat,
-                "cubes_unknown": stats.dist.cubes_unknown,
-                "resplits": stats.dist.resplits,
-                "clauses_shared": stats.dist.clauses_shared,
-                "wall_seconds": round(stats.dist.wall_seconds, 6),
-                "winner": stats.dist.winner,
-                "cubes": [
-                    {
-                        "literals": list(cube.literals),
-                        "verdict": cube.verdict,
-                        "depth": cube.depth,
-                        "conflicts": cube.conflicts,
-                        "decisions": cube.decisions,
-                        "propagations": cube.propagations,
-                        "runtime_seconds": round(cube.runtime_seconds, 6),
-                        "worker": cube.worker,
-                        "config": cube.config,
-                    }
-                    for cube in stats.dist.cubes
-                ],
-            }
-        rows.append(row)
-    return rows
+    # The canonical serialization lives on BoundStats itself (the serving
+    # layer streams the same dicts as progress events).
+    return [stats.to_json_dict() for stats in result.per_bound_stats]
 
 
 def _summarise(name: str, result: BMCResult) -> Dict[str, object]:
@@ -293,6 +238,70 @@ def run_profile(profile: str, max_bound: int) -> List[Dict[str, object]]:
     return runs
 
 
+#: Campaign subset of the --via-server bench: one real EDDI-V solve plus
+#: two sub-second Single-I jobs, so the cold pass measures genuine solver
+#: work and the warm pass isolates the cache path.
+VIA_SERVER_BUGS = ["wrport_collision", "sra_zero_fill", "cmpi_carry_spec"]
+
+
+def run_via_server_bench(workers: int = 1) -> List[Dict[str, object]]:
+    """Cold + warm campaign passes through an in-process server.
+
+    Records wall-clock and cache hit/miss counts per pass (the warm pass
+    must be all hits).  The entries land in ``BENCH_bmc.json`` for
+    trajectory tracking; they are *recorded, not gated* -- CI's ``--check``
+    run does not pass ``--via-server``, so no baseline comparison happens
+    on these names yet.
+    """
+    import tempfile
+
+    from repro.eval.campaign import CampaignConfig
+    from repro.serve import LocalServer, ServeClient, run_campaign_via_server
+
+    config = CampaignConfig(
+        bug_ids=VIA_SERVER_BUGS,
+        run_industrial_flow=False,
+        run_directed_tests=False,
+    )
+    runs: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as cache_dir:
+        with LocalServer(cache_dir=cache_dir, workers=workers) as url:
+            client = ServeClient(url)
+            for label in ("cold", "warm"):
+                start = time.perf_counter()
+                campaign = run_campaign_via_server(client, config)
+                elapsed = time.perf_counter() - start
+                hits = sum(
+                    1 for r in campaign.records if r.served_from_cache
+                )
+                verdicts = {
+                    r.bug_id: r.detected_by_symbolic_qed
+                    for r in campaign.records
+                }
+                if not all(verdicts.values()):
+                    raise SystemExit(
+                        f"via-server bench ({label}): missed detections "
+                        f"{verdicts}"
+                    )
+                runs.append(
+                    {
+                        "name": f"serve/campaign{len(VIA_SERVER_BUGS)}/{label}",
+                        "status": "ok",
+                        "runtime_seconds": round(elapsed, 6),
+                        "jobs": len(campaign.records),
+                        "cache_hits": hits,
+                        "cache_misses": len(campaign.records) - hits,
+                        "workers": workers,
+                    }
+                )
+            if runs[-1]["cache_misses"] != 0:
+                raise SystemExit(
+                    "via-server bench: warm pass was not fully cached "
+                    f"({runs[-1]})"
+                )
+    return runs
+
+
 def check_regression(
     report: Dict[str, object],
     baseline: Dict[str, object],
@@ -391,6 +400,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the metric of interest)",
     )
     parser.add_argument(
+        "--via-server", action="store_true",
+        help="also run a small campaign cold+warm through the in-process "
+        "verification service and record cache hit/miss counts",
+    )
+    parser.add_argument(
         "--json-out", default=DEFAULT_JSON_OUT,
         help="write the JSON report here ('-' for stdout; "
         "default: BENCH_bmc.json at the repo root)",
@@ -410,6 +424,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline = json.load(stream)
 
     runs = run_profile(args.profile, args.max_bound)
+    if args.via_server:
+        runs.extend(run_via_server_bench(workers=max(1, args.workers)))
     if args.qed:
         suffix = ("/dense" if args.dense else "") + (
             f"/w{args.workers}" if args.workers else ""

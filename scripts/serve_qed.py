@@ -1,0 +1,237 @@
+"""Command-line front end of the verification service (:mod:`repro.serve`).
+
+Subcommands::
+
+    serve     -- run a standalone server:
+                 PYTHONPATH=src python scripts/serve_qed.py serve --port 8123
+    submit    -- submit one bug-detection job (optionally wait for it):
+                 ... serve_qed.py submit --server 127.0.0.1:8123 \\
+                     --bug wrport_collision --wait
+    campaign  -- run the full 16-version campaign through a server; with no
+                 --server an in-process server is spawned for the run:
+                 ... serve_qed.py campaign --via-server --workers 2
+                 Run it twice with the same --cache-dir to see the second
+                 pass answered entirely from the result cache.
+    smoke     -- the CI gate: boot an in-process server, run one EDDI-V
+                 job, check the verdict against a direct detect_bug() call,
+                 and check that an identical resubmission is a cache hit.
+
+Everything is stdlib-only; the server spawned here is the same stack the
+tests exercise (:class:`repro.serve.LocalServer`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+from repro.eval.campaign import (
+    CampaignConfig,
+    detect_bug,
+    record_comparable_dict,
+)
+from repro.eval.report import detection_breakdown, serving_statistics
+from repro.serve import LocalServer, ServeClient, run_campaign_via_server
+
+SMOKE_BUG = "wrport_collision"  # EDDI-V interaction bug, ~2 s solve
+
+
+def _campaign_config(args) -> CampaignConfig:
+    return CampaignConfig(
+        bug_ids=args.bugs or None,
+        run_industrial_flow=not args.no_industrial,
+        run_directed_tests=not args.no_dst,
+    )
+
+
+@contextlib.contextmanager
+def _client_for(args, *, workers: int):
+    """A client for --server, or for a freshly spawned in-process server."""
+    if args.server:
+        yield ServeClient(args.server)
+        return
+    cache_dir = args.cache_dir
+    with contextlib.ExitStack() as stack:
+        if cache_dir is None:
+            cache_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-serve-")
+            )
+        url = stack.enter_context(LocalServer(cache_dir=cache_dir, workers=workers))
+        yield ServeClient(url)
+
+
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    server = LocalServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    url = server.start()
+    print(f"serving on {url} (cache: {args.cache_dir}, workers: {args.workers})")
+    print("POST /jobs | GET /jobs/<id>?wait= | GET /results/<key> | GET /stats")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    client = ServeClient(args.server)
+    view = client.submit(
+        bug_id=args.bug, config=_campaign_config(args), priority=args.priority
+    )
+    print(
+        f"job {view.job_id}: {view.state}"
+        + (" (cache hit)" if view.cache_hit else "")
+    )
+    if args.wait and not view.done:
+        view = client.wait_done(
+            view.job_id,
+            timeout=args.timeout,
+            on_progress=lambda e: print(
+                f"  bound {e.get('bound')}: {e.get('verdict')}"
+            ),
+        )
+    print(json.dumps(view.record if view.record else {"state": view.state}, indent=2))
+    return 0 if view.state in ("queued", "running", "done") else 1
+
+
+def cmd_campaign(args) -> int:
+    config = _campaign_config(args)
+    with _client_for(args, workers=args.workers) as client:
+        start = time.perf_counter()
+        campaign = run_campaign_via_server(client, config)
+        elapsed = time.perf_counter() - start
+        hits = sum(1 for r in campaign.records if r.served_from_cache)
+        print(
+            f"{len(campaign.records)} bugs in {elapsed:.1f}s "
+            f"({hits} served from cache)"
+        )
+        breakdown = detection_breakdown(campaign)
+        print(
+            f"Symbolic QED detected {breakdown['symbolic_qed_detected']}"
+            f"/{breakdown['total_bugs']} bugs; industrial flow "
+            f"{breakdown['industrial_flow_detected']}/{breakdown['total_bugs']}"
+        )
+        print(json.dumps(serving_statistics(client.stats()), indent=2))
+    return 0
+
+
+def cmd_smoke(args) -> int:
+    """CI smoke: served verdict == direct verdict, resubmission hits cache."""
+    config = CampaignConfig(
+        bug_ids=[SMOKE_BUG], run_industrial_flow=False, run_directed_tests=False
+    )
+    failures: List[str] = []
+    with _client_for(args, workers=args.workers) as client:
+        view = client.submit(bug_id=SMOKE_BUG, config=config)
+        if view.cache_hit and args.server is None:
+            failures.append("cold submission reported a cache hit")
+        final = view if view.done else client.wait_done(view.job_id, timeout=args.timeout)
+        if final.state != "done" or final.record is None:
+            failures.append(f"job ended {final.state}: {final.error}")
+        else:
+            from repro.eval.campaign import record_from_json_dict
+
+            direct = detect_bug(SMOKE_BUG, config)
+            served = record_from_json_dict(final.record)
+            if record_comparable_dict(direct) != record_comparable_dict(served):
+                failures.append("served record differs from direct detect_bug()")
+            if not served.detected_by.get("eddiv"):
+                failures.append("EDDI-V did not detect the smoke bug")
+        second = client.submit(bug_id=SMOKE_BUG, config=config)
+        if not second.cache_hit:
+            failures.append("identical resubmission was not a cache hit")
+        if second.record is None or not second.record.get("served_from_cache"):
+            failures.append("cache-served record lacks provenance")
+        stats = serving_statistics(client.stats())
+        print(json.dumps(stats, indent=2))
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke OK: served verdict matches direct, resubmission hit cache")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub, *, server_required: bool) -> None:
+        sub.add_argument(
+            "--server",
+            default=None,
+            required=server_required,
+            help="server URL (host:port); omit to spawn an in-process server",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes for a spawned server (default 1)",
+        )
+        sub.add_argument(
+            "--cache-dir", default=None,
+            help="result-cache directory for a spawned server "
+            "(default: a temporary directory)",
+        )
+        sub.add_argument(
+            "--timeout", type=float, default=600.0,
+            help="per-job wait budget in seconds (default 600)",
+        )
+        sub.add_argument("--bugs", nargs="*", default=None, help="bug ids to run")
+        sub.add_argument(
+            "--no-industrial", action="store_true",
+            help="skip the CRS/OCS-FV industrial-flow baselines",
+        )
+        sub.add_argument(
+            "--no-dst", action="store_true", help="skip the directed suite"
+        )
+
+    serve = commands.add_parser("serve", help="run a standalone server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8123)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--cache-dir", default=".repro_cache")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = commands.add_parser("submit", help="submit one job")
+    add_common(submit, server_required=True)
+    submit.add_argument("--bug", required=True, help="bug id (see repro.uarch.bugs)")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--wait", action="store_true", help="long-poll until the job finishes"
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    campaign = commands.add_parser(
+        "campaign", help="run the detection campaign through a server"
+    )
+    add_common(campaign, server_required=False)
+    campaign.add_argument(
+        "--via-server", action="store_true",
+        help="accepted for symmetry with run_campaign() docs (this "
+        "subcommand always goes through the server)",
+    )
+    campaign.set_defaults(func=cmd_campaign)
+
+    smoke = commands.add_parser("smoke", help="CI smoke gate")
+    add_common(smoke, server_required=False)
+    smoke.set_defaults(func=cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

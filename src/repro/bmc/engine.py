@@ -76,7 +76,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bmc.property import Assumption, SafetyProperty
 from repro.bmc.trace import CounterexampleTrace, property_holds_at, replay_inputs
@@ -165,6 +165,70 @@ class BoundStats:
     def clauses_subsumed(self) -> int:
         """Clauses removed from this bound's slab by subsumption."""
         return self.preprocess.clauses_subsumed if self.preprocess else 0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable form of this bound's statistics.
+
+        Used verbatim by the bench report (``scripts/bench_bmc.py``) and by
+        the serving layer (:mod:`repro.serve`), which streams these dicts to
+        HTTP clients as per-bound progress events.
+        """
+        row: Dict[str, object] = {
+            "bound": self.bound,
+            "window_start": self.window_start,
+            "verdict": self.verdict,
+            "runtime_seconds": round(self.runtime_seconds, 6),
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "learned_clauses": self.learned_clauses,
+            "learned_clauses_carried": self.learned_clauses_carried,
+            "new_variables": self.new_variables,
+            "new_clauses": self.new_clauses,
+            "cone_nodes": self.cone_nodes,
+            "assumptions_asserted": self.assumptions_asserted,
+            "assumptions_deferred": self.assumptions_deferred,
+            "slab_clauses_before": self.slab_clauses_before,
+            "slab_clauses_after": self.slab_clauses_after,
+        }
+        if self.preprocess is not None:
+            row["preprocess"] = {
+                "variables_eliminated": self.preprocess.variables_eliminated,
+                "clauses_subsumed": self.preprocess.clauses_subsumed,
+                "literals_strengthened": self.preprocess.literals_strengthened,
+                "units_derived": self.preprocess.units_derived,
+                "failed_literals": self.preprocess.failed_literals,
+                "rounds": self.preprocess.rounds,
+                "time_seconds": round(self.preprocess.time_seconds, 6),
+            }
+        if self.dist is not None:
+            row["dist"] = {
+                "workers": self.dist.workers,
+                "strategy": self.dist.strategy,
+                "cubes_total": self.dist.cubes_total,
+                "cubes_sat": self.dist.cubes_sat,
+                "cubes_unsat": self.dist.cubes_unsat,
+                "cubes_unknown": self.dist.cubes_unknown,
+                "resplits": self.dist.resplits,
+                "clauses_shared": self.dist.clauses_shared,
+                "wall_seconds": round(self.dist.wall_seconds, 6),
+                "winner": self.dist.winner,
+                "cubes": [
+                    {
+                        "literals": list(cube.literals),
+                        "verdict": cube.verdict,
+                        "depth": cube.depth,
+                        "conflicts": cube.conflicts,
+                        "decisions": cube.decisions,
+                        "propagations": cube.propagations,
+                        "runtime_seconds": round(cube.runtime_seconds, 6),
+                        "worker": cube.worker,
+                        "config": cube.config,
+                    }
+                    for cube in self.dist.cubes
+                ],
+            }
+        return row
 
 
 @dataclass
@@ -366,6 +430,31 @@ class BMCProblem:
         if self.bound_schedule is not None:
             return list(self.bound_schedule)
         return list(range(1, self.max_bound + 1))
+
+    def knobs_dict(self) -> Dict[str, object]:
+        """Canonical, versioned JSON form of the *engine knobs*.
+
+        The design/property/assumption payload is deliberately excluded --
+        it is identified by content (see
+        :meth:`repro.rtl.design.Design.structural_hash`) rather than by
+        value.  Two problems with equal knobs produce the same dict, which
+        is the contract the serving layer's cache keys rely on.
+        """
+        return {
+            "format": 1,
+            "max_bound": self.max_bound,
+            "use_design_assumptions": self.use_design_assumptions,
+            "violation_mode": self.violation_mode,
+            "bound_schedule": (
+                None
+                if self.bound_schedule is None
+                else [int(b) for b in self.bound_schedule]
+            ),
+            "preprocess": self.preprocess,
+            "coi_assumptions": self.coi_assumptions,
+            "max_conflicts_per_query": self.max_conflicts_per_query,
+            "split": None if self.split is None else self.split.to_json_dict(),
+        }
 
 
 class BoundedModelChecker:
@@ -784,12 +873,28 @@ class BoundedModelChecker:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> BMCResult:
-        """Execute the incremental-bound search."""
+    def run(
+        self,
+        *,
+        on_bound: Optional[Callable[[BoundStats], None]] = None,
+    ) -> BMCResult:
+        """Execute the incremental-bound search.
+
+        ``on_bound`` is an optional progress hook invoked with each bound's
+        :class:`BoundStats` the moment it is final (including ``skipped``
+        bounds and the violating bound).  The serving layer uses it to
+        stream per-bound progress to HTTP clients while a long query runs;
+        exceptions it raises propagate and abort the run.
+        """
         problem = self.problem
         start_time = time.perf_counter()
         per_bound: List[float] = []
         per_bound_stats: List[BoundStats] = []
+
+        def emit(stats: BoundStats) -> None:
+            per_bound_stats.append(stats)
+            if on_bound is not None:
+                on_bound(stats)
 
         for bound in problem.bounds():
             bound_start = time.perf_counter()
@@ -803,7 +908,7 @@ class BoundedModelChecker:
                 # (still before its start cycle): nothing to ask the solver.
                 elapsed = time.perf_counter() - bound_start
                 per_bound.append(elapsed)
-                per_bound_stats.append(
+                emit(
                     BoundStats(
                         bound=bound,
                         window_start=window_start,
@@ -885,7 +990,7 @@ class BoundedModelChecker:
 
             elapsed = time.perf_counter() - bound_start
             per_bound.append(elapsed)
-            per_bound_stats.append(
+            emit(
                 BoundStats(
                     bound=bound,
                     window_start=window_start,

@@ -55,6 +55,37 @@ class PortfolioConfig:
     preprocess: bool = False
     blocked: bool = False
 
+    # -- canonical serialization ---------------------------------------
+    def to_json_dict(self) -> dict:
+        """Canonical, versioned JSON form (every knob explicit)."""
+        return {
+            "format": 1,
+            "name": self.name,
+            "var_decay": self.var_decay,
+            "clause_decay": self.clause_decay,
+            "restart_base": self.restart_base,
+            "default_phase": self.default_phase,
+            "preprocess": self.preprocess,
+            "blocked": self.blocked,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "PortfolioConfig":
+        """Inverse of :meth:`to_json_dict` (validates the format tag)."""
+        if data.get("format", 1) != 1:
+            raise ValueError(
+                f"unsupported PortfolioConfig format {data.get('format')!r}"
+            )
+        return cls(
+            name=str(data["name"]),
+            var_decay=float(data.get("var_decay", 0.95)),
+            clause_decay=float(data.get("clause_decay", 0.999)),
+            restart_base=int(data.get("restart_base", 100)),
+            default_phase=bool(data.get("default_phase", False)),
+            preprocess=bool(data.get("preprocess", False)),
+            blocked=bool(data.get("blocked", False)),
+        )
+
     def build_solver(
         self,
         clauses: Sequence[Sequence[Literal]],

@@ -111,6 +111,63 @@ class SplitConfig:
         if not self.configs:
             raise ValueError("configs must not be empty")
 
+    # -- canonical serialization ---------------------------------------
+    def to_json_dict(self) -> dict:
+        """Canonical, versioned JSON form.
+
+        Every knob is explicit (defaults included), nested
+        :class:`~repro.dist.portfolio.PortfolioConfig` entries serialize
+        through their own canonical form, and tuple fields become lists --
+        so two equal configs always produce the same dict and the dict
+        round-trips through JSON (``pickle`` already worked; cache keys
+        need JSON).
+        """
+        return {
+            "format": 1,
+            "workers": self.workers,
+            "strategy": self.strategy,
+            "lookahead_depth": self.lookahead_depth,
+            "max_initial_cubes": self.max_initial_cubes,
+            "cube_conflict_budget": self.cube_conflict_budget,
+            "max_resplit_depth": self.max_resplit_depth,
+            "share_clauses": self.share_clauses,
+            "share_max_lbd": self.share_max_lbd,
+            "share_queue_size": self.share_queue_size,
+            "configs": [config.to_json_dict() for config in self.configs],
+            "prefer_input_prefixes": list(self.prefer_input_prefixes),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SplitConfig":
+        """Inverse of :meth:`to_json_dict` (validates the format tag)."""
+        if data.get("format", 1) != 1:
+            raise ValueError(
+                f"unsupported SplitConfig format {data.get('format')!r}"
+            )
+        budget = data.get("cube_conflict_budget", 4000)
+        configs = data.get("configs")
+        return cls(
+            workers=int(data.get("workers", 1)),
+            strategy=str(data.get("strategy", "auto")),
+            lookahead_depth=int(data.get("lookahead_depth", 2)),
+            max_initial_cubes=int(data.get("max_initial_cubes", 32)),
+            cube_conflict_budget=None if budget is None else int(budget),
+            max_resplit_depth=int(data.get("max_resplit_depth", 4)),
+            share_clauses=bool(data.get("share_clauses", True)),
+            share_max_lbd=int(data.get("share_max_lbd", 3)),
+            share_queue_size=int(data.get("share_queue_size", 1024)),
+            configs=(
+                DIVERSE_CONFIGS
+                if configs is None
+                else tuple(
+                    PortfolioConfig.from_json_dict(entry) for entry in configs
+                )
+            ),
+            prefer_input_prefixes=tuple(
+                str(prefix) for prefix in data.get("prefer_input_prefixes", ())
+            ),
+        )
+
 
 @dataclass
 class CubeStats:

@@ -30,6 +30,7 @@ from repro.eval.report import (
     format_table,
     formula_reduction_statistics,
     runtime_statistics,
+    serving_statistics,
     solver_reuse_statistics,
 )
 
@@ -50,5 +51,6 @@ __all__ = [
     "format_table",
     "formula_reduction_statistics",
     "runtime_statistics",
+    "serving_statistics",
     "solver_reuse_statistics",
 ]

@@ -27,8 +27,8 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dist.scheduler import SplitConfig
 from repro.isa.arch import ArchParams, TINY_PROFILE
@@ -116,6 +116,11 @@ class CampaignConfig:
     composes with ``run_campaign(workers=N)``: the pool fans out over bugs,
     and each bug's hard query can additionally fan out over cubes.  Leave it
     ``None`` inside an outer process pool unless cores are plentiful.
+
+    ``preprocess`` and ``max_conflicts_per_query`` forward to
+    :meth:`repro.qed.harness.SymbolicQED.check` (formula reduction on/off
+    and the per-bound solver budget -- an expired budget makes the QED
+    verdict *non-definitive*, see :attr:`BugDetectionRecord.qed_definitive`).
     """
 
     arch: ArchParams = TINY_PROFILE
@@ -126,6 +131,61 @@ class CampaignConfig:
     exhaustive: bool = False
     extra_bound: int = 0
     split: Optional[SplitConfig] = None
+    preprocess: bool = True
+    max_conflicts_per_query: Optional[int] = None
+
+    # -- canonical serialization ---------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """Canonical, versioned JSON form (defaults explicit, tuples as
+        lists, nested configs through their own canonical forms).
+
+        ``bug_ids`` keeps its order -- it selects *which* jobs run and in
+        what order, it does not change any single job's meaning (per-job
+        cache keys are built by :mod:`repro.serve.keys` and never include
+        it).
+        """
+        return {
+            "format": 1,
+            "arch": self.arch.to_json_dict(),
+            "bug_ids": (
+                None if self.bug_ids is None else [str(b) for b in self.bug_ids]
+            ),
+            "run_industrial_flow": self.run_industrial_flow,
+            "run_directed_tests": self.run_directed_tests,
+            "crs_config": self.crs_config.to_json_dict(),
+            "exhaustive": self.exhaustive,
+            "extra_bound": self.extra_bound,
+            "split": None if self.split is None else self.split.to_json_dict(),
+            "preprocess": self.preprocess,
+            "max_conflicts_per_query": self.max_conflicts_per_query,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "CampaignConfig":
+        """Inverse of :meth:`to_json_dict` (validates the format tag)."""
+        if data.get("format", 1) != 1:
+            raise ValueError(
+                f"unsupported CampaignConfig format {data.get('format')!r}"
+            )
+        arch = data.get("arch")
+        crs = data.get("crs_config")
+        split = data.get("split")
+        bug_ids = data.get("bug_ids")
+        budget = data.get("max_conflicts_per_query")
+        return cls(
+            arch=TINY_PROFILE if arch is None else ArchParams.from_json_dict(arch),
+            bug_ids=None if bug_ids is None else [str(b) for b in bug_ids],
+            run_industrial_flow=bool(data.get("run_industrial_flow", True)),
+            run_directed_tests=bool(data.get("run_directed_tests", True)),
+            crs_config=(
+                CRSConfig() if crs is None else CRSConfig.from_json_dict(crs)
+            ),
+            exhaustive=bool(data.get("exhaustive", False)),
+            extra_bound=int(data.get("extra_bound", 0)),
+            split=None if split is None else SplitConfig.from_json_dict(split),
+            preprocess=bool(data.get("preprocess", True)),
+            max_conflicts_per_query=None if budget is None else int(budget),
+        )
 
 
 @dataclass
@@ -152,6 +212,17 @@ class BugDetectionRecord:
     crs_detected: bool = False
     ocsfv_detected: bool = False
     dst_detected: bool = False
+    #: Whether the QED verdict is definitive: a violation was found, or no
+    #: bound of the run expired its conflict budget (an UNKNOWN-at-budget
+    #: "no violation" may still be upgraded by a bigger run -- the serving
+    #: layer's cache exploits exactly that monotonicity).
+    qed_definitive: bool = True
+    #: Serving-layer provenance: ``True`` when this record was answered
+    #: from the content-addressed result cache instead of a fresh solve.
+    served_from_cache: bool = False
+    #: Cache key of the job that produced this record ("" outside the
+    #: serving layer).
+    cache_key: str = ""
 
     @property
     def detected_by_symbolic_qed(self) -> bool:
@@ -170,6 +241,48 @@ class BugDetectionRecord:
     def detected_by_industrial_flow(self) -> bool:
         """Whether DST, OCS-FV or CRS detected the bug."""
         return self.dst_detected or self.ocsfv_detected or self.crs_detected
+
+
+#: Record fields that vary run-to-run (wall clocks) or describe *how* the
+#: record was obtained rather than *what* was measured.  Equivalence checks
+#: (direct campaign vs. served-with-cache) compare everything else.
+RECORD_VOLATILE_FIELDS: Tuple[str, ...] = (
+    "qed_runtime_seconds",
+    "qed_preprocess_seconds",
+    "single_i_runtime_seconds",
+    "served_from_cache",
+    "cache_key",
+)
+
+
+def record_to_json_dict(record: BugDetectionRecord) -> Dict[str, object]:
+    """Full JSON-serializable form of a detection record (all fields)."""
+    return asdict(record)
+
+
+def record_from_json_dict(data: Dict[str, object]) -> BugDetectionRecord:
+    """Rebuild a record from :func:`record_to_json_dict` output.
+
+    Unknown keys are ignored so records persisted by a newer serving-layer
+    cache still load (the cache entry format is versioned separately).
+    """
+    known = {f.name for f in BugDetectionRecord.__dataclass_fields__.values()}
+    kwargs = {key: value for key, value in data.items() if key in known}
+    kwargs["detected_by"] = dict(kwargs.get("detected_by") or {})
+    return BugDetectionRecord(**kwargs)
+
+
+def record_comparable_dict(record: BugDetectionRecord) -> Dict[str, object]:
+    """The deterministic core of a record: everything except wall clocks
+    and serving provenance (:data:`RECORD_VOLATILE_FIELDS`).
+
+    Two runs of the same job -- direct, through the server, or served from
+    the cache -- must agree on this dict byte-for-byte.
+    """
+    data = record_to_json_dict(record)
+    for field_name in RECORD_VOLATILE_FIELDS:
+        data.pop(field_name, None)
+    return data
 
 
 @dataclass
@@ -200,6 +313,7 @@ def _run_qed_feature(
     version: DesignVersion,
     config: CampaignConfig,
     record: BugDetectionRecord,
+    on_bound: Optional[Callable] = None,
 ) -> None:
     plan = FOCUS_SETS[bug.bug_id]
     mode = plan["mode"]
@@ -223,13 +337,22 @@ def _run_qed_feature(
         focus_opcodes=opcodes if mode is not QEDMode.EDDIV_MEM else None,
         tracked_registers=(0,),
     )
-    result = harness.check(max_bound=bound, split=config.split)
+    result = harness.check(
+        max_bound=bound,
+        preprocess=config.preprocess,
+        max_conflicts_per_query=config.max_conflicts_per_query,
+        split=config.split,
+        on_bound=on_bound,
+    )
     feature = {
         QEDMode.EDDIV: "eddiv",
         QEDMode.EDDIV_CF: "qed_cf",
         QEDMode.EDDIV_MEM: "qed_mem",
     }[mode]
     record.detected_by[feature] = result.found_violation
+    record.qed_definitive = result.found_violation or all(
+        stats.verdict != "unknown" for stats in result.per_bound_stats
+    )
     record.qed_runtime_seconds = result.runtime_seconds
     record.qed_counterexample_cycles = result.counterexample_cycles
     record.qed_counterexample_instructions = result.counterexample_instructions
@@ -244,19 +367,27 @@ def _run_qed_feature(
     record.qed_clauses_shared = result.clauses_shared
 
 
-def detect_bug(bug_id: str, config: Optional[CampaignConfig] = None) -> BugDetectionRecord:
+def detect_bug(
+    bug_id: str,
+    config: Optional[CampaignConfig] = None,
+    *,
+    on_bound: Optional[Callable] = None,
+) -> BugDetectionRecord:
     """Run every configured technique against one bug (a campaign *job*).
 
     Each job is self-contained -- it elaborates its own design and solver
     state -- which is what makes the process-pool fan-out of
-    :func:`run_campaign` safe: workers share nothing.
+    :func:`run_campaign` safe: workers share nothing.  ``on_bound`` is the
+    per-bound progress hook forwarded to the BMC engine (see
+    :meth:`repro.bmc.engine.BoundedModelChecker.run`); the serving layer
+    uses it to stream progress while a job runs.
     """
     config = config or CampaignConfig()
     bug = bug_by_id(bug_id)
     version = _version_with_bug(bug.bug_id)
     record = BugDetectionRecord(bug_id=bug.bug_id, version_name=version.name)
 
-    _run_qed_feature(bug, version, config, record)
+    _run_qed_feature(bug, version, config, record, on_bound)
 
     if config.run_industrial_flow:
         crs = ConstrainedRandomSim(

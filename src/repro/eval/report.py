@@ -141,6 +141,44 @@ def formula_reduction_statistics(campaign: CampaignResult) -> Dict[str, float]:
     }
 
 
+def serving_statistics(stats: Dict[str, object]) -> Dict[str, object]:
+    """Summarise a serving-layer ``GET /stats`` payload.
+
+    Complements :func:`distributed_proof_statistics` with the
+    verification-as-a-service counters (see :mod:`repro.serve`): how many
+    jobs the service answered, what fraction came straight from the
+    content-addressed result cache, how many concurrent identical
+    submissions were coalesced into one solve, and the mean time a job
+    waited in the queue before a worker picked it up.
+
+    Accepts either the full ``/stats`` payload (``{"queue": ..., "cache":
+    ...}``) or a bare :meth:`repro.serve.queue.JobQueue.stats_dict`; it is
+    a pure dict transform so report generation never imports (or requires)
+    the serving stack.
+    """
+    queue = stats.get("queue", stats)
+    cache = stats.get("cache") or {}
+    submitted = int(queue.get("jobs_submitted", 0))
+    cache_hits = int(queue.get("cache_hits", 0))
+    latency_jobs = int(queue.get("queue_latency_jobs", 0))
+    return {
+        "jobs_submitted": submitted,
+        "jobs_executed": int(queue.get("executed", 0)),
+        "jobs_failed": int(queue.get("failed", 0)),
+        "jobs_cancelled": int(queue.get("cancelled", 0)),
+        "cache_hits": cache_hits,
+        "cache_hit_rate": (cache_hits / submitted) if submitted else 0.0,
+        "dedup_coalesced": int(queue.get("coalesced", 0)),
+        "cache_entries": int(cache.get("entries", 0)),
+        "cache_upgrades": int(cache.get("upgrades", 0)),
+        "mean_queue_latency_seconds": (
+            float(queue.get("queue_latency_seconds_total", 0.0)) / latency_jobs
+            if latency_jobs
+            else 0.0
+        ),
+    }
+
+
 def distributed_proof_statistics(campaign: CampaignResult) -> Dict[str, int]:
     """Aggregate cube-and-conquer work of the campaign's Symbolic QED runs.
 

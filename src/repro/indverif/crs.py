@@ -48,6 +48,35 @@ class CRSConfig:
     control_flow_fraction: float = 0.15
     max_cycles_per_program: int = 64
 
+    # -- canonical serialization ---------------------------------------
+    def to_json_dict(self) -> dict:
+        """Canonical, versioned JSON form (every knob explicit, sorted)."""
+        return {
+            "format": 1,
+            "num_programs": self.num_programs,
+            "program_length": self.program_length,
+            "seed": self.seed,
+            "reuse_register_bias": self.reuse_register_bias,
+            "reuse_address_bias": self.reuse_address_bias,
+            "control_flow_fraction": self.control_flow_fraction,
+            "max_cycles_per_program": self.max_cycles_per_program,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CRSConfig":
+        """Inverse of :meth:`to_json_dict` (validates the format tag)."""
+        if data.get("format", 1) != 1:
+            raise ValueError(f"unsupported CRSConfig format {data.get('format')!r}")
+        return cls(
+            num_programs=int(data.get("num_programs", 40)),
+            program_length=int(data.get("program_length", 24)),
+            seed=int(data.get("seed", 2019)),
+            reuse_register_bias=float(data.get("reuse_register_bias", 0.35)),
+            reuse_address_bias=float(data.get("reuse_address_bias", 0.5)),
+            control_flow_fraction=float(data.get("control_flow_fraction", 0.15)),
+            max_cycles_per_program=int(data.get("max_cycles_per_program", 64)),
+        )
+
 
 @dataclass
 class CRSMismatch:

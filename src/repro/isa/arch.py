@@ -112,6 +112,38 @@ class ArchParams:
             raise ValueError(f"register index {index} out of range")
         return f"R{index}"
 
+    # -- canonical serialization ---------------------------------------
+    def to_json_dict(self) -> dict:
+        """Canonical, versioned JSON form (every field explicit).
+
+        Two equal profiles always serialize to the same dict, which is what
+        lets content-addressed cache keys (:mod:`repro.serve.keys`) treat
+        semantically identical requests as identical.
+        """
+        return {
+            "format": 1,
+            "name": self.name,
+            "xlen": self.xlen,
+            "num_regs": self.num_regs,
+            "dmem_words": self.dmem_words,
+            "imem_words": self.imem_words,
+            "imm_width": self.imm_width,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ArchParams":
+        """Inverse of :meth:`to_json_dict` (validates the format tag)."""
+        if data.get("format", 1) != 1:
+            raise ValueError(f"unsupported ArchParams format {data.get('format')!r}")
+        return cls(
+            name=str(data["name"]),
+            xlen=int(data["xlen"]),
+            num_regs=int(data["num_regs"]),
+            dmem_words=int(data["dmem_words"]),
+            imem_words=int(data["imem_words"]),
+            imm_width=int(data.get("imm_width", 6)),
+        )
+
 
 TINY_PROFILE = ArchParams(
     name="tiny", xlen=4, num_regs=8, dmem_words=4, imem_words=32, imm_width=5

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bmc.engine import BMCProblem, BMCResult, BMCStatus, BoundedModelChecker
 from repro.bmc.property import SafetyProperty
@@ -203,6 +203,7 @@ class SymbolicQED:
         preprocess: bool = True,
         max_conflicts_per_query: Optional[int] = None,
         split: Optional[SplitConfig] = None,
+        on_bound: Optional[Callable] = None,
     ) -> QEDCheckResult:
         """Run BMC from the QED-consistent start state up to *max_bound*.
 
@@ -224,6 +225,10 @@ class SymbolicQED:
         raced over ``split.workers`` processes.  Unless the config already
         names preferred split inputs, the harness points it at the core's
         instruction port so cubes partition by injected opcode.
+
+        ``on_bound`` streams each bound's
+        :class:`~repro.bmc.engine.BoundStats` to the caller as it is final
+        (the serving layer's progress hook).
         """
         if split is not None and not split.prefer_input_prefixes:
             split = replace(split, prefer_input_prefixes=("instr_in",))
@@ -239,7 +244,7 @@ class SymbolicQED:
             max_conflicts_per_query=max_conflicts_per_query,
             split=split,
         )
-        result = BoundedModelChecker(problem).run()
+        result = BoundedModelChecker(problem).run(on_bound=on_bound)
 
         counterexample: Optional[QEDCounterexample] = None
         if result.status is BMCStatus.VIOLATION and result.counterexample:

@@ -104,6 +104,66 @@ class Design:
                     f"but its next-state expression has width {expr.width}"
                 )
 
+    def structural_hash(self) -> str:
+        """Content hash (SHA-256 hex) of the elaborated netlist.
+
+        Two designs hash equal iff they have the same inputs, state
+        elements (name, width, reset) and structurally identical
+        next-state/output/assumption expressions.  The design *name* is
+        deliberately excluded: the hash identifies content, which is what
+        lets the serving layer invalidate cached verdicts when the RTL
+        behind a version name actually changes (and share them when it
+        does not).
+
+        Shared sub-expressions are serialized once (DAG, not tree), so the
+        hash is linear in the netlist size and safe on deep expressions.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        node_ids: Dict[int, int] = {}
+
+        def serialize(root: BV) -> int:
+            """Post-order DAG walk assigning dense ids; feeds the digest."""
+            stack: List[tuple] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if id(node) in node_ids:
+                    continue
+                if not expanded:
+                    stack.append((node, True))
+                    stack.extend((child, False) for child in node.children)
+                    continue
+                parts: List[str] = []
+                for item in node._key():
+                    if isinstance(item, tuple):
+                        parts.append(
+                            ",".join(str(node_ids[id(child)]) for child in item)
+                        )
+                    else:
+                        parts.append(str(item))
+                node_ids[id(node)] = len(node_ids)
+                digest.update(
+                    (f"n{len(node_ids) - 1}=" + "|".join(parts) + "\n").encode()
+                )
+            return node_ids[id(root)]
+
+        for input_name in sorted(self.inputs):
+            digest.update(f"input {input_name}:{self.inputs[input_name]}\n".encode())
+        for element in self.state:
+            digest.update(
+                f"state {element.name}:{element.width}={element.reset}\n".encode()
+            )
+        for section, exprs in (
+            ("next", self.next_state),
+            ("output", self.outputs),
+            ("assume", self.assumptions),
+        ):
+            for expr_name in sorted(exprs):
+                root_id = serialize(exprs[expr_name])
+                digest.update(f"{section} {expr_name}=n{root_id}\n".encode())
+        return digest.hexdigest()
+
     def __repr__(self) -> str:
         return (
             f"Design({self.name!r}, inputs={len(self.inputs)}, "

@@ -1,0 +1,72 @@
+"""Verification-as-a-service over the Symbolic QED campaign machinery.
+
+The paper's industrial flow is a *service*: engineers launch per-block
+Symbolic QED runs against design versions all day, and most queries repeat
+-- same version, same focus set, same bound.  This package turns the
+repository's campaign jobs into exactly that service: an async job queue
+with a content-addressed result cache behind a small stdlib HTTP API, so
+the second ask of any query is a cache lookup instead of a solve.
+
+Architecture
+============
+
+::
+
+    client / CLI (repro.serve.client, scripts/serve_qed.py)
+        |  POST /jobs {bug_id | spec}        GET /jobs/<id>?wait= (long-poll,
+        v                                        streams per-bound BoundStats)
+    +------------------ QEDServer (repro.serve.server) ------------------+
+    |  stdlib asyncio HTTP: parse -> route; malformed input => 4xx on    |
+    |  that connection only, the accept loop never dies                  |
+    +---------------------------+-----------------------------------------+
+                                v
+    +------------------ JobQueue (repro.serve.queue) ---------------------+
+    |  JobSpec.resolved().cache_key()   (repro.serve.keys: canonical      |
+    |      version+fingerprint+mode+focus+bound+knobs -> SHA-256)         |
+    |    |                                                                |
+    |    |-- cache hit  -> DONE immediately (served_from_cache=True)      |
+    |    |-- identical in-flight spec -> coalesce (N waiters, one solve)  |
+    |    '-- else: priority heap -> scheduler -> fork process pool        |
+    |              detect_bug(...) with on_bound streaming BoundStats     |
+    |              back through a shared mp queue; worker crash => FAILED |
+    |              and a fresh pool (never a hung job)                    |
+    +---------------------------+-----------------------------------------+
+                                v
+    +------------------ ResultCache (repro.serve.cache) ------------------+
+    |  tier 1: in-memory LRU     tier 2: append-only JSON-lines log       |
+    |  keys embed the design fingerprint (content, not version name)      |
+    |  monotone upgrades: UNKNOWN-at-budget may become definitive,        |
+    |  never the reverse -- including across restarts (log replay)        |
+    +----------------------------------------------------------------------+
+
+Deployment shapes: :class:`~repro.serve.server.LocalServer` runs the whole
+stack on a background thread in-process (tests, quickstart, CLI spawn
+mode); ``scripts/serve_qed.py serve`` runs it standalone.
+"""
+
+from repro.serve.cache import CacheEntry, ResultCache
+from repro.serve.client import (
+    JobView,
+    ServeClient,
+    ServeError,
+    run_campaign_via_server,
+)
+from repro.serve.keys import JobSpec
+from repro.serve.queue import Job, JobQueue, JobState, execute_job_spec
+from repro.serve.server import LocalServer, QEDServer
+
+__all__ = [
+    "CacheEntry",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "JobView",
+    "LocalServer",
+    "QEDServer",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "execute_job_spec",
+    "run_campaign_via_server",
+]

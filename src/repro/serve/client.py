@@ -1,0 +1,279 @@
+"""Typed stdlib HTTP client for the verification service.
+
+:class:`ServeClient` wraps the wire protocol of
+:mod:`repro.serve.server` -- submit, long-poll, cache lookup, stats --
+behind typed calls, and :func:`run_campaign_via_server` rebuilds a full
+:class:`~repro.eval.campaign.CampaignResult` from served jobs, which is how
+the 16-version campaign runs through the service (``scripts/serve_qed.py
+campaign --via-server``).
+
+Only ``http.client`` is used (one connection per request, matching the
+server's connection-per-request protocol); there are no third-party
+dependencies anywhere in the serving stack.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+from urllib.parse import urlencode, urlsplit
+
+from repro.eval.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    record_from_json_dict,
+)
+from repro.serve.keys import JobSpec
+
+__all__ = ["JobView", "ServeClient", "ServeError", "run_campaign_via_server"]
+
+
+class ServeError(RuntimeError):
+    """A request failed: transport error, non-2xx status, or a FAILED job."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class JobView:
+    """Client-side snapshot of one job (mirror of ``GET /jobs/<id>``)."""
+
+    job_id: str
+    state: str
+    cache_key: str = ""
+    cache_hit: bool = False
+    coalesced: int = 0
+    record: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    progress: List[Dict[str, object]] = field(default_factory=list)
+    progress_total: int = 0
+    version: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "JobView":
+        return cls(
+            job_id=str(data["job_id"]),
+            state=str(data["state"]),
+            cache_key=str(data.get("cache_key", "")),
+            cache_hit=bool(data.get("cache_hit", False)),
+            coalesced=int(data.get("coalesced", 0)),
+            record=data.get("record"),
+            error=data.get("error"),
+            progress=list(data.get("progress") or []),
+            progress_total=int(data.get("progress_total", 0)),
+            version=int(data.get("version", 0)),
+        )
+
+
+class ServeClient:
+    """One verification-service endpoint, e.g. ``http://127.0.0.1:8123``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 120.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// endpoints are supported: {base_url}")
+        if not split.hostname:
+            raise ValueError(f"no host in base url {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Dict[str, object]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"{method} {path} failed: {type(exc).__name__}: {exc}"
+                )
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                raise ServeError(
+                    f"{method} {path}: non-JSON response ({raw[:80]!r})",
+                    status=response.status,
+                )
+            if response.status >= 400:
+                raise ServeError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{data.get('error', raw[:200])}",
+                    status=response.status,
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except ServeError:
+            return False
+
+    def submit(
+        self,
+        *,
+        spec: Optional[JobSpec] = None,
+        bug_id: Optional[str] = None,
+        config: Optional[CampaignConfig] = None,
+        priority: int = 0,
+        force: bool = False,
+    ) -> JobView:
+        """Submit by full spec, or by ``bug_id`` (+ optional config).
+
+        ``force`` asks the server to re-solve even on a cache hit (the
+        refresh path for non-definitive cached verdicts).
+        """
+        if (spec is None) == (bug_id is None):
+            raise ValueError("pass exactly one of spec= or bug_id=")
+        body: Dict[str, object] = {"priority": priority}
+        if force:
+            body["force"] = True
+        if spec is not None:
+            body["spec"] = spec.canonical_dict()
+        else:
+            body["bug_id"] = bug_id
+            if config is not None:
+                body["config"] = config.to_json_dict()
+        return JobView.from_payload(self._request("POST", "/jobs", body)["job"])
+
+    def job(
+        self,
+        job_id: str,
+        *,
+        wait: Optional[float] = None,
+        since: Optional[int] = None,
+        progress_since: int = 0,
+    ) -> JobView:
+        query: Dict[str, object] = {}
+        if wait is not None:
+            query["wait"] = wait
+        if since is not None:
+            query["since"] = since
+        if progress_since:
+            query["progress_since"] = progress_since
+        path = f"/jobs/{job_id}"
+        if query:
+            path += "?" + urlencode(query)
+        return JobView.from_payload(self._request("GET", path)["job"])
+
+    def wait_done(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll: float = 30.0,
+        on_progress=None,
+    ) -> JobView:
+        """Long-poll *job_id* until it is terminal.
+
+        ``on_progress`` receives each new per-bound progress dict exactly
+        once as the polls stream them in.
+        """
+        deadline = time.monotonic() + timeout
+        version = -1
+        seen_progress = 0
+        while True:
+            view = self.job(
+                job_id,
+                wait=min(poll, max(0.0, deadline - time.monotonic())),
+                since=version,
+                progress_since=seen_progress,
+            )
+            if on_progress is not None:
+                for event in view.progress:
+                    on_progress(event)
+            seen_progress = view.progress_total
+            version = view.version
+            if view.done:
+                return view
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {view.state} after {timeout:.0f}s"
+                )
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._request("DELETE", f"/jobs/{job_id}")["cancelled"])
+
+    def result(self, cache_key: str) -> Optional[Dict[str, object]]:
+        try:
+            return self._request("GET", f"/results/{cache_key}")["result"]
+        except ServeError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+
+# ----------------------------------------------------------------------
+def run_campaign_via_server(
+    client: ServeClient,
+    config: Optional[CampaignConfig] = None,
+    *,
+    timeout_per_job: float = 600.0,
+) -> CampaignResult:
+    """Run the bug-detection campaign *through* the service.
+
+    Submits one job per selected bug (all up front, so the server's queue
+    and cache do the scheduling), waits for each in bug-selection order,
+    and rebuilds the same :class:`CampaignResult` a direct
+    :func:`~repro.eval.campaign.run_campaign` produces -- records match it
+    byte-for-byte on every deterministic field
+    (:func:`repro.eval.campaign.record_comparable_dict`), with serving
+    provenance (``served_from_cache``/``cache_key``) filled in on top.
+    """
+    from repro.uarch.bugs import BUGS
+
+    config = config or CampaignConfig()
+    bug_ids = (
+        [str(b) for b in config.bug_ids]
+        if config.bug_ids is not None
+        else [bug.bug_id for bug in BUGS]
+    )
+    start = time.perf_counter()
+    # Fingerprints stay unresolved client-side: the server resolves them
+    # once, off-loop, against its memoized elaborations -- no point in the
+    # client serially elaborating every netlist before submitting.
+    submissions = [
+        client.submit(
+            spec=JobSpec.from_campaign(
+                bug_id, config, resolve_fingerprint=False
+            )
+        )
+        for bug_id in bug_ids
+    ]
+    campaign = CampaignResult()
+    for view in submissions:
+        final = (
+            view
+            if view.done
+            else client.wait_done(view.job_id, timeout=timeout_per_job)
+        )
+        if final.state != "done" or final.record is None:
+            raise ServeError(
+                f"job {final.job_id} ({final.state}): {final.error or 'no record'}"
+            )
+        campaign.records.append(record_from_json_dict(final.record))
+    campaign.wall_clock_seconds = time.perf_counter() - start
+    return campaign

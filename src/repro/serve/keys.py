@@ -1,0 +1,221 @@
+"""Canonical, hash-stable job specifications and content-addressed keys.
+
+A :class:`JobSpec` pins down *everything* that determines a campaign job's
+deterministic outcome:
+
+* the design **content** -- version name plus the
+  :meth:`~repro.uarch.versions.DesignVersion.fingerprint` of its elaborated
+  netlist (so an RTL change behind an unchanged version name shifts the
+  key),
+* the QED configuration -- mode, sorted focus-set opcodes, bound,
+* the engine knobs -- preprocess, per-bound conflict budget, split
+  (cube-and-conquer) configuration,
+* the satellite techniques -- industrial-flow/DST toggles and the seeded
+  CRS knobs.
+
+:meth:`JobSpec.cache_key` hashes the canonical JSON form, so two
+semantically identical requests -- regardless of focus-set order, default
+spelling, or which client sent them -- collide on one key.  That key is the
+address of the result cache (:mod:`repro.serve.cache`) and the coalescing
+handle of the job queue (:mod:`repro.serve.queue`).
+
+Wall-clock fields of a result are *not* part of the key (they are
+measurements, not meaning); neither is job priority (scheduling, not
+semantics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.eval.campaign import FOCUS_SETS, CampaignConfig
+from repro.qed.eddiv import QEDMode
+from repro.uarch.versions import version_by_name
+
+#: Bump when the canonical dict layout changes; old cache entries become
+#: unreachable (their keys hash a different format tag).
+SPEC_FORMAT = 1
+
+
+def canonical_json(data: object) -> str:
+    """The one JSON spelling used for hashing: sorted keys, no whitespace."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _normalize_config(config: Dict[str, object]) -> Dict[str, object]:
+    """Canonicalize a campaign-config dict for hashing.
+
+    Round-tripping through :class:`CampaignConfig` makes every default
+    explicit, so ``{}`` and a fully spelled-out default config produce the
+    same bytes (and therefore the same cache key).  Unknown keys are kept
+    verbatim -- they cannot affect execution, but dropping them silently
+    would alias specs that a caller deliberately distinguished.
+    ``bug_ids`` is dropped: which jobs a campaign selects is scheduling,
+    not any single job's semantics.
+    """
+    normalized = CampaignConfig.from_json_dict(dict(config)).to_json_dict()
+    normalized.update(
+        {key: value for key, value in config.items() if key not in normalized}
+    )
+    normalized.pop("bug_ids", None)
+    return normalized
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One verification job, canonically described.
+
+    Instances are built with :meth:`from_campaign` (which derives the QED
+    plan from the campaign's focus-set table exactly as
+    :func:`repro.eval.campaign.detect_bug` will) or :meth:`from_dict` (the
+    wire form).  ``mode``/``focus_opcodes``/``bound`` are therefore *derived*
+    fields: they make the key transparent -- the ROADMAP's
+    ``(version, mode, focus set, bound)`` -- while execution always goes
+    through the reconstructed :class:`CampaignConfig`, keeping served and
+    direct runs byte-identical.
+    """
+
+    bug_id: str
+    version: str
+    #: Content hash of the version's elaborated netlist ("" = unresolved;
+    #: the server resolves it before keying, so clients may omit it).
+    fingerprint: str
+    mode: str
+    focus_opcodes: Optional[Tuple[str, ...]]
+    bound: int
+    config: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_campaign(
+        cls,
+        bug_id: str,
+        config: Optional[CampaignConfig] = None,
+        *,
+        resolve_fingerprint: bool = True,
+    ) -> "JobSpec":
+        """Derive the canonical spec of ``detect_bug(bug_id, config)``."""
+        from repro.eval.campaign import _version_with_bug  # job == campaign job
+
+        config = config or CampaignConfig()
+        plan = FOCUS_SETS[bug_id]
+        mode = plan["mode"]
+        mode_name = mode.value if isinstance(mode, QEDMode) else str(mode)
+        opcodes = None if config.exhaustive else plan["opcodes"]
+        version = _version_with_bug(bug_id)
+        config_dict = _normalize_config(config.to_json_dict())
+        return cls(
+            bug_id=bug_id,
+            version=version.name,
+            fingerprint=(
+                version.fingerprint(config.arch) if resolve_fingerprint else ""
+            ),
+            mode=mode_name,
+            focus_opcodes=(
+                None if opcodes is None else tuple(sorted(str(op) for op in opcodes))
+            ),
+            bound=int(plan["bound"]) + config.extra_bound,
+            config=config_dict,
+        )
+
+    # ------------------------------------------------------------------
+    def campaign_config(self) -> CampaignConfig:
+        """Rebuild the :class:`CampaignConfig` this job executes under."""
+        return CampaignConfig.from_json_dict(dict(self.config))
+
+    def resolved(self) -> "JobSpec":
+        """A copy with the design fingerprint filled in (no-op if set)."""
+        if self.fingerprint:
+            return self
+        arch = self.campaign_config().arch
+        return JobSpec(
+            bug_id=self.bug_id,
+            version=self.version,
+            fingerprint=version_by_name(self.version).fingerprint(arch),
+            mode=self.mode,
+            focus_opcodes=self.focus_opcodes,
+            bound=self.bound,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> Dict[str, object]:
+        """Canonical, versioned JSON form (the wire and hash format)."""
+        return {
+            "format": SPEC_FORMAT,
+            "bug_id": self.bug_id,
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "mode": self.mode,
+            "focus_opcodes": (
+                None
+                if self.focus_opcodes is None
+                else sorted(str(op) for op in self.focus_opcodes)
+            ),
+            "bound": self.bound,
+            "config": self.config,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        """Inverse of :meth:`canonical_dict` (validates the format tag)."""
+        if data.get("format", SPEC_FORMAT) != SPEC_FORMAT:
+            raise ValueError(f"unsupported JobSpec format {data.get('format')!r}")
+        opcodes = data.get("focus_opcodes")
+        return cls(
+            bug_id=str(data["bug_id"]),
+            version=str(data["version"]),
+            fingerprint=str(data.get("fingerprint", "")),
+            mode=str(data["mode"]),
+            focus_opcodes=(
+                None
+                if opcodes is None
+                else tuple(sorted(str(op) for op in opcodes))
+            ),
+            bound=int(data["bound"]),
+            config=_normalize_config(dict(data.get("config") or {})),
+        )
+
+    def validate_derived(self) -> None:
+        """Check the derived fields against the campaign plan.
+
+        ``version``/``mode``/``focus_opcodes``/``bound`` are derived from
+        ``bug_id`` + ``config`` (execution always goes through
+        ``detect_bug``), so a wire spec that *claims* different values
+        would cache a correctly computed record under a lying description.
+        The worker calls this before solving, failing such specs loudly.
+        """
+        expected = JobSpec.from_campaign(
+            self.bug_id, self.campaign_config(), resolve_fingerprint=False
+        )
+        mismatches = {
+            name: (getattr(self, name), getattr(expected, name))
+            for name in ("version", "mode", "focus_opcodes", "bound")
+            if getattr(self, name) != getattr(expected, name)
+        }
+        if mismatches:
+            raise ValueError(
+                f"spec for bug {self.bug_id!r} misdescribes its derived "
+                f"fields (got, expected): {mismatches}"
+            )
+
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str:
+        """Content address of this job's result (SHA-256 hex).
+
+        Hashed over the canonical dict, so semantically identical specs --
+        whatever their field order, opcode order or default spelling --
+        produce the same key.  The fingerprint must be resolved first: a
+        key over unresolved content would alias across RTL changes.
+        """
+        if not self.fingerprint:
+            raise ValueError(
+                "cache_key requires a resolved design fingerprint "
+                "(call .resolved() first)"
+            )
+        return hashlib.sha256(
+            canonical_json(self.canonical_dict()).encode()
+        ).hexdigest()

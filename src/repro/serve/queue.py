@@ -1,0 +1,566 @@
+"""Asyncio job queue: priority scheduling, coalescing, process-pool bridge.
+
+One :class:`JobQueue` owns the serving state: a registry of jobs, a priority
+heap of queued work, the in-flight map used for deduplication, and the
+executor that actually runs :func:`repro.eval.campaign.detect_bug`.
+
+Lifecycle of a submission
+=========================
+
+1. The spec is resolved (design fingerprint filled in) and keyed
+   (:meth:`~repro.serve.keys.JobSpec.cache_key`).
+2. **Cache hit** -- the job is born ``DONE`` with the cached record
+   (provenance: ``served_from_cache=True``); no solver runs.
+3. **Coalesce** -- an identical spec already queued or running returns the
+   *same* job: N submitters, one solve, everyone long-polls the same id.
+4. Otherwise the job is queued by ``(priority, arrival)`` and picked up by
+   the scheduler when an executor slot frees.  Execution happens in a
+   worker process (``fork`` context, mirroring the campaign pool); per-bound
+   :class:`~repro.bmc.engine.BoundStats` stream back through a shared
+   multiprocessing queue and land in :attr:`Job.progress` as they arrive.
+5. On completion the record is admitted to the result cache under monotone
+   upgrade semantics; on a worker crash the job ends ``FAILED`` (never
+   hung) and the broken pool is replaced before the next job runs.
+
+``use_processes=False`` swaps the process pool for threads -- same contract,
+no fork -- which in-process demos (``examples/serve_quickstart.py``) use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import heapq
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.eval.campaign import detect_bug, record_to_json_dict
+from repro.serve.cache import ResultCache
+from repro.serve.keys import JobSpec
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "execute_job_spec",
+]
+
+
+class JobState(str, Enum):
+    """Lifecycle of one served job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submission's view of the world (shared when coalesced)."""
+
+    job_id: str
+    spec: JobSpec
+    cache_key: str
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    cache_hit: bool = False
+    #: Additional submissions that attached to this job (N waiters, 1 solve).
+    coalesced: int = 0
+    record: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    #: Per-bound progress events (:meth:`BoundStats.to_json_dict` dicts).
+    progress: List[Dict[str, object]] = field(default_factory=list)
+    #: Bumped on every observable change; long-poll waits for it to move.
+    version: int = 0
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    cancel_requested: bool = False
+    _event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def to_json_dict(self, *, since: int = 0) -> Dict[str, object]:
+        """Wire form for ``GET /jobs/<id>``.
+
+        ``since`` trims the progress list to events a long-polling client
+        has not seen yet (it passes the count it already holds).
+        """
+        return {
+            "job_id": self.job_id,
+            "cache_key": self.cache_key,
+            "spec": self.spec.canonical_dict(),
+            "priority": self.priority,
+            "state": self.state.value,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "record": self.record,
+            "error": self.error,
+            "progress": self.progress[since:],
+            "progress_total": len(self.progress),
+            "version": self.version,
+            "cancel_requested": self.cancel_requested,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  ``_PROGRESS_QUEUE`` is installed by the pool
+# initializer; with the fork start method the queue object is inherited.
+_PROGRESS_QUEUE = None
+
+
+def _init_worker(progress_queue) -> None:
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = progress_queue
+
+
+def execute_job_spec(
+    spec_dict: Dict[str, object],
+    job_id: str = "",
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Executor entry point: run one campaign job described by *spec_dict*.
+
+    Returns ``{"record": <record json dict>, "definitive": bool}``.  Runs
+    in a worker process (``progress`` is then the inherited multiprocessing
+    queue) or in a thread (``progress`` is a direct callback).  The design
+    fingerprint is re-verified against the current content so a stale spec
+    fails loudly instead of caching a result under the wrong key.
+    """
+    from repro.uarch.versions import version_by_name
+
+    spec = JobSpec.from_dict(spec_dict)
+    config = spec.campaign_config()
+    spec.validate_derived()  # a lying spec must fail, not cache mislabeled
+    if spec.fingerprint:
+        current = version_by_name(spec.version).fingerprint(config.arch)
+        if current != spec.fingerprint:
+            raise ValueError(
+                f"design content changed under {spec.version}: spec has "
+                f"fingerprint {spec.fingerprint[:12]}.., current is "
+                f"{current[:12]}.."
+            )
+    send = progress
+    if send is None and _PROGRESS_QUEUE is not None:
+        queue = _PROGRESS_QUEUE
+
+        def send(stats_dict: Dict[str, object]) -> None:
+            try:
+                queue.put((job_id, stats_dict))
+            except Exception:
+                pass  # progress is best-effort; never fail the job for it
+
+    on_bound = None
+    if send is not None:
+        def on_bound(stats) -> None:
+            send(stats.to_json_dict())
+
+    record = detect_bug(spec.bug_id, config, on_bound=on_bound)
+    return {
+        "record": record_to_json_dict(record),
+        "definitive": record.qed_definitive,
+    }
+
+
+def _selftest_entry(
+    spec_dict: Dict[str, object],
+    job_id: str = "",
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Deterministic test double for :func:`execute_job_spec`.
+
+    Kept importable here so it pickles into worker processes.  Behaviour is
+    keyed on the (synthetic) ``bug_id``: ``__crash__`` kills the worker
+    process outright (the ``FAILED``-not-hung regression hook),
+    ``__sleep:S__`` holds the slot for ``S`` seconds (the coalescing hook);
+    anything else echoes a canned record.
+    """
+    bug_id = str(spec_dict.get("bug_id", ""))
+    if bug_id == "__crash__":
+        os._exit(1)
+    if bug_id.startswith("__sleep:"):
+        time.sleep(float(bug_id[len("__sleep:"):].rstrip("_")))
+    if progress is None and _PROGRESS_QUEUE is not None:
+        queue = _PROGRESS_QUEUE
+
+        def progress(stats_dict: Dict[str, object]) -> None:
+            queue.put((job_id, stats_dict))
+
+    if progress is not None:
+        progress({"bound": 1, "verdict": "unsat", "selftest": True})
+    return {
+        "record": {
+            "bug_id": bug_id,
+            "version_name": str(spec_dict.get("version", "X")),
+            "detected_by": {"eddiv": True},
+            "qed_definitive": True,
+        },
+        "definitive": True,
+    }
+
+
+# ----------------------------------------------------------------------
+class JobQueue:
+    """Priority scheduler + dedup/coalescing front over an executor pool.
+
+    All public methods must be called from the owning event loop's thread
+    (the HTTP server and the in-process helpers guarantee that).  Cache
+    lookups/admissions run synchronously on it by design: they are one
+    seek+readline / one append on a local log, dwarfed by the solves they
+    avoid.  A multi-node cache tier would move them behind an executor.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        entry: Callable = execute_job_spec,
+        use_processes: bool = True,
+        max_tracked_jobs: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_tracked_jobs < 1:
+            raise ValueError("max_tracked_jobs must be at least 1")
+        self.cache = cache
+        self.workers = workers
+        self.entry = entry
+        self.use_processes = use_processes
+        #: Terminal jobs beyond this count are evicted oldest-first, so a
+        #: long-running server's registry stays bounded (results live on in
+        #: the cache; only the per-job views age out).
+        self.max_tracked_jobs = max_tracked_jobs
+        self.jobs: Dict[str, Job] = {}
+        self._terminal: "deque[str]" = deque()
+        self._inflight: Dict[str, Job] = {}
+        self._heap: List[Tuple[int, int, str]] = []
+        self._sequence = itertools.count()
+        self._running = 0
+        self._wake = asyncio.Event()
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._executor = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._mp_context = None
+        self._progress_queue = None
+        self._drainer: Optional[threading.Thread] = None
+        # Counters for /stats.
+        self.submitted = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.executed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.queue_latency_total = 0.0
+        self.queue_latency_jobs = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind to the running loop and start the scheduler."""
+        self._loop = asyncio.get_running_loop()
+        if self.use_processes:
+            methods = multiprocessing.get_all_start_methods()
+            self._mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            self._progress_queue = self._mp_context.Queue()
+            self._drainer = threading.Thread(
+                target=self._drain_progress, name="serve-progress", daemon=True
+            )
+            self._drainer.start()
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+
+    async def stop(self) -> None:
+        """Stop scheduling; running workers are abandoned, not awaited."""
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+        self._discard_executor()
+        if self._progress_queue is not None:
+            try:
+                self._progress_queue.put(None)  # drainer shutdown sentinel
+            except Exception:
+                pass
+        if self._drainer is not None:
+            self._drainer.join(timeout=2.0)
+            self._drainer = None
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.use_processes:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._mp_context,
+                    initializer=_init_worker,
+                    initargs=(self._progress_queue,),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="serve-worker",
+                )
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _drain_progress(self) -> None:
+        """(thread) Pump per-bound events from workers into the loop."""
+        queue = self._progress_queue
+        while True:
+            try:
+                item = queue.get()
+            except (EOFError, OSError):
+                break
+            if item is None:
+                break
+            job_id, stats = item
+            loop = self._loop
+            if loop is None:
+                continue
+            try:
+                loop.call_soon_threadsafe(self._on_progress, job_id, stats)
+            except RuntimeError:
+                break  # loop closed; server is shutting down
+
+    def _on_progress(self, job_id: str, stats: Dict[str, object]) -> None:
+        job = self.jobs.get(job_id)
+        if job is not None and not job.state.terminal:
+            job.progress.append(stats)
+            self._bump(job)
+
+    # ------------------------------------------------------------------
+    def _bump(self, job: Job) -> None:
+        """Publish a change: advance the version, wake every waiter."""
+        job.version += 1
+        event, job._event = job._event, asyncio.Event()
+        event.set()
+
+    def _retire(self, job: Job) -> None:
+        """Record a terminal transition and bound the job registry."""
+        self._terminal.append(job.job_id)
+        while len(self._terminal) > self.max_tracked_jobs:
+            old_id = self._terminal.popleft()
+            old = self.jobs.get(old_id)
+            if old is not None and old.state.terminal:
+                del self.jobs[old_id]
+
+    def _new_job_id(self) -> str:
+        return f"job-{next(self._sequence):06d}"
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, *, priority: int = 0, force: bool = False) -> Job:
+        """Submit a job; returns immediately with its (possibly shared) Job.
+
+        Cache hits come back ``DONE``; identical in-flight specs coalesce
+        onto the existing job; everything else queues by priority (larger
+        first, FIFO within a priority).  ``force`` skips the cache lookup
+        and re-solves (it still coalesces with an in-flight twin); the
+        fresh result re-enters the cache under the monotone-upgrade rule,
+        which is how a non-definitive cached verdict gets refreshed.
+        """
+        spec = spec.resolved()
+        key = spec.cache_key()
+        self.submitted += 1
+
+        if self.cache is not None and not force:
+            entry = self.cache.get(key, fingerprint=spec.fingerprint)
+            if entry is not None:
+                self.cache_hits += 1
+                record = dict(entry.record)
+                record["served_from_cache"] = True
+                record["cache_key"] = key
+                now = time.time()
+                job = Job(
+                    job_id=self._new_job_id(),
+                    spec=spec,
+                    cache_key=key,
+                    priority=priority,
+                    state=JobState.DONE,
+                    cache_hit=True,
+                    record=record,
+                    submitted_at=now,
+                    started_at=now,
+                    finished_at=now,
+                    version=1,
+                )
+                self.jobs[job.job_id] = job
+                self._retire(job)
+                return job
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            existing.coalesced += 1
+            self.coalesced += 1
+            if priority > existing.priority and existing.state is JobState.QUEUED:
+                # The strongest waiter sets the pace: requeue higher.
+                existing.priority = priority
+                heapq.heappush(
+                    self._heap, (-priority, next(self._sequence), existing.job_id)
+                )
+            self._bump(existing)
+            return existing
+
+        job = Job(
+            job_id=self._new_job_id(),
+            spec=spec,
+            cache_key=key,
+            priority=priority,
+            submitted_at=time.time(),
+        )
+        self.jobs[job.job_id] = job
+        self._inflight[key] = job
+        heapq.heappush(self._heap, (-priority, next(self._sequence), job.job_id))
+        self._wake.set()
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; returns ``True`` iff it is now CANCELLED.
+
+        A job other submitters coalesced onto is *not* cancelled -- one
+        client must not tear down a solve its twins are still waiting on.
+        A running solve is not interrupted either (its result is still
+        cached for the next asker); the request is recorded on the job
+        view (``cancel_requested``) so every waiter can see it.
+        """
+        job = self.jobs[job_id]
+        if job.state is JobState.QUEUED and job.coalesced == 0:
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            self.cancelled += 1
+            if self._inflight.get(job.cache_key) is job:
+                del self._inflight[job.cache_key]
+            self._retire(job)
+            self._bump(job)
+            return True
+        if not job.state.terminal:
+            job.cancel_requested = True
+            self._bump(job)
+        return False
+
+    # ------------------------------------------------------------------
+    async def _scheduler(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._heap and self._running < self.workers:
+                _, _, job_id = heapq.heappop(self._heap)
+                job = self.jobs.get(job_id)
+                if job is None or job.state is not JobState.QUEUED:
+                    continue  # cancelled, or a stale re-priority entry
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                self.queue_latency_total += job.started_at - job.submitted_at
+                self.queue_latency_jobs += 1
+                self._running += 1
+                self._bump(job)
+                asyncio.create_task(self._run_job(job))
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            executor = self._ensure_executor()
+            spec_dict = job.spec.canonical_dict()
+            if self.use_processes:
+                call = functools.partial(self.entry, spec_dict, job.job_id)
+            else:
+                def progress(stats: Dict[str, object]) -> None:
+                    loop.call_soon_threadsafe(self._on_progress, job.job_id, stats)
+
+                call = functools.partial(
+                    self.entry, spec_dict, job.job_id, progress
+                )
+            result = await loop.run_in_executor(executor, call)
+            record = dict(result["record"])
+            record["cache_key"] = job.cache_key
+            record.setdefault("served_from_cache", False)
+            if self.cache is not None:
+                self.cache.put(
+                    job.cache_key,
+                    record,
+                    fingerprint=job.spec.fingerprint,
+                    definitive=bool(result.get("definitive", True)),
+                    spec=job.spec.canonical_dict(),
+                )
+            job.record = record
+            job.state = JobState.DONE
+            self.executed += 1
+        except Exception as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+            self.failed += 1
+            if isinstance(exc, BrokenExecutor):
+                # A worker died mid-job (e.g. OOM-kill).  Every future on
+                # the pool fails with it; replace the pool so the next job
+                # gets a healthy one.
+                self._discard_executor()
+        finally:
+            job.finished_at = time.time()
+            if self._inflight.get(job.cache_key) is job:
+                del self._inflight[job.cache_key]
+            self._running -= 1
+            self._retire(job)
+            self._bump(job)
+            self._wake.set()
+
+    # ------------------------------------------------------------------
+    async def wait(self, job: Job, *, since: int, timeout: float) -> None:
+        """Long-poll primitive: return when ``job.version > since``, the
+        job can no longer change, or *timeout* elapses."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout)
+        while job.version <= since and not job.state.terminal:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            event = job._event
+            try:
+                await asyncio.wait_for(event.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> Dict[str, object]:
+        """Counters for ``GET /stats`` and
+        :func:`repro.eval.report.serving_statistics`."""
+        queued = sum(
+            1 for job in self.jobs.values() if job.state is JobState.QUEUED
+        )
+        return {
+            "workers": self.workers,
+            "use_processes": self.use_processes,
+            "jobs_submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "running": self._running,
+            "queued": queued,
+            "jobs_tracked": len(self.jobs),
+            "queue_latency_seconds_total": self.queue_latency_total,
+            "queue_latency_jobs": self.queue_latency_jobs,
+        }

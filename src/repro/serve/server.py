@@ -1,0 +1,413 @@
+"""Stdlib-only asyncio HTTP front end over the job queue.
+
+One :class:`QEDServer` binds a :class:`~repro.serve.queue.JobQueue` (and its
+result cache) to a TCP port.  The protocol is deliberately small --
+HTTP/1.1, one request per connection, JSON bodies -- so the whole server
+fits in the standard library and survives hostile input: any parse error or
+handler exception turns into a 4xx/5xx response (or a dropped connection)
+on *that* connection only; the accept loop never dies.
+
+Endpoints
+=========
+
+``POST /jobs``
+    Submit a job.  Body: ``{"bug_id": ..., "config": <CampaignConfig json>,
+    "priority": N}`` or ``{"spec": <JobSpec canonical dict>}``.  Responds
+    ``202`` with the job view (``200`` when answered from cache).
+``GET /jobs/<id>[?wait=SECS&since=VERSION]``
+    Job view.  With ``wait``, long-polls until the job's version counter
+    passes ``since`` (progress event, state change) or the timeout lapses
+    -- repeated calls stream per-bound ``BoundStats`` as they arrive.
+``DELETE /jobs/<id>``
+    Cancel (queued jobs only; running solves finish and are cached).
+``GET /results/<cache-key>``
+    Raw cache entry for a content-addressed key, 404 when absent.
+``GET /stats``
+    Queue + cache counters (input of
+    :func:`repro.eval.report.serving_statistics`).
+``GET /healthz``
+    Liveness probe.
+
+:class:`LocalServer` runs the full stack (loop, queue, server) on a
+background thread -- the in-process deployment used by tests, the CLI's
+``campaign --via-server`` mode and the quickstart example.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.serve.keys import JobSpec
+from repro.serve.queue import JobQueue, execute_job_spec
+
+__all__ = ["QEDServer", "LocalServer"]
+
+#: Hard request limits -- a malformed or hostile client exhausts these and
+#: gets a 4xx, not a wedged server.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+#: Long-poll ceiling; clients re-issue the request to keep streaming.
+MAX_WAIT_SECONDS = 60.0
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    """Raised by parsing/handling; mapped to a 400 response."""
+
+
+class QEDServer:
+    """The asyncio HTTP server; owns nothing but the listening socket."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.queue = queue
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.requests_served = 0
+        self.requests_rejected = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the queue (if idle) and begin accepting connections."""
+        if self.queue._scheduler_task is None:
+            await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.stop()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _BadRequest as exc:
+                self.requests_rejected += 1
+                await self._respond(writer, 400, {"error": str(exc)})
+                return
+            try:
+                status, payload = await self._route(method, path, body)
+            except _BadRequest as exc:
+                self.requests_rejected += 1
+                status, payload = 400, {"error": str(exc)}
+            except KeyError as exc:
+                status, payload = 404, {"error": f"not found: {exc}"}
+            except Exception as exc:  # handler bug: report, keep serving
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            self.requests_served += 1
+            await self._respond(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[dict]]:
+        try:
+            request_line = await reader.readuntil(b"\r\n")
+        except asyncio.LimitOverrunError:
+            raise _BadRequest("request line too long")
+        except asyncio.IncompleteReadError:
+            raise _BadRequest("truncated request line")
+        if len(request_line) > MAX_REQUEST_LINE:
+            raise _BadRequest("request line too long")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].upper().startswith("HTTP/"):
+            raise _BadRequest("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readuntil(b"\r\n")
+            except (asyncio.LimitOverrunError, asyncio.IncompleteReadError):
+                raise _BadRequest("malformed headers")
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _BadRequest("headers too large")
+            if line in (b"\r\n", b"\n"):
+                break
+            text = line.decode("latin-1").strip()
+            if ":" not in text:
+                raise _BadRequest(f"malformed header line {text!r}")
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        body: Optional[dict] = None
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise _BadRequest("malformed Content-Length")
+            if length < 0 or length > MAX_BODY_BYTES:
+                raise _BadRequest("body too large")
+            if length:
+                try:
+                    raw = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    raise _BadRequest("truncated body")
+                try:
+                    body = json.loads(raw)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    raise _BadRequest("body is not valid JSON")
+                if not isinstance(body, dict):
+                    raise _BadRequest("body must be a JSON object")
+        return method, path, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        data = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: Optional[dict]
+    ) -> Tuple[int, dict]:
+        url = urlsplit(target)
+        segments = [s for s in url.path.split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+
+        if segments == ["healthz"] and method == "GET":
+            return 200, {"ok": True}
+        if segments == ["stats"] and method == "GET":
+            return 200, self._stats()
+        if segments == ["jobs"]:
+            if method != "POST":
+                return 405, {"error": "POST /jobs"}
+            return await self._submit(body or {})
+        if len(segments) == 2 and segments[0] == "jobs":
+            if method == "GET":
+                return await self._get_job(segments[1], query)
+            if method == "DELETE":
+                return self._cancel_job(segments[1])
+            return 405, {"error": "GET or DELETE /jobs/<id>"}
+        if len(segments) == 2 and segments[0] == "results" and method == "GET":
+            return self._get_result(segments[1])
+        return 404, {"error": f"no route for {method} {url.path}"}
+
+    async def _submit(self, body: dict) -> Tuple[int, dict]:
+        try:
+            if "spec" in body:
+                if not isinstance(body["spec"], dict):
+                    raise _BadRequest("'spec' must be a JSON object")
+                spec = JobSpec.from_dict(body["spec"])
+            elif "bug_id" in body:
+                from repro.eval.campaign import CampaignConfig
+
+                config = (
+                    CampaignConfig.from_json_dict(body["config"])
+                    if body.get("config")
+                    else None
+                )
+                spec = JobSpec.from_campaign(
+                    str(body["bug_id"]), config, resolve_fingerprint=False
+                )
+            else:
+                raise _BadRequest("body needs 'spec' or 'bug_id'")
+            priority = int(body.get("priority", 0))
+            force = bool(body.get("force", False))
+        except _BadRequest:
+            raise
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise _BadRequest(f"invalid job spec: {exc}")
+        # Fingerprint resolution may elaborate a netlist (~100 ms on a
+        # cold memo); do it off-loop so long-polls keep streaming.
+        loop = asyncio.get_running_loop()
+        try:
+            spec = await loop.run_in_executor(None, spec.resolved)
+        except (KeyError, ValueError) as exc:
+            raise _BadRequest(f"invalid job spec: {exc}")
+        job = self.queue.submit(spec, priority=priority, force=force)
+        return (200 if job.cache_hit else 202), {"job": job.to_json_dict()}
+
+    async def _get_job(self, job_id: str, query: Dict[str, str]) -> Tuple[int, dict]:
+        job = self.queue.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        if "wait" in query:
+            try:
+                timeout = min(float(query["wait"]), MAX_WAIT_SECONDS)
+                since = int(query.get("since", job.version))
+            except ValueError:
+                raise _BadRequest("wait/since must be numeric")
+            await self.queue.wait(job, since=since, timeout=timeout)
+        try:
+            progress_since = int(query.get("progress_since", 0))
+        except ValueError:
+            raise _BadRequest("progress_since must be an integer")
+        return 200, {"job": job.to_json_dict(since=progress_since)}
+
+    def _cancel_job(self, job_id: str) -> Tuple[int, dict]:
+        try:
+            cancelled = self.queue.cancel(job_id)
+        except KeyError:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        job = self.queue.jobs[job_id]
+        return 200, {"cancelled": cancelled, "job": job.to_json_dict()}
+
+    def _get_result(self, key: str) -> Tuple[int, dict]:
+        cache = self.queue.cache
+        entry = cache.get(key) if cache is not None else None
+        if entry is None:
+            return 404, {"error": f"no cached result for {key!r}"}
+        return 200, {"result": entry.to_json_dict(), "hits": entry.hits}
+
+    def _stats(self) -> dict:
+        return {
+            "queue": self.queue.stats_dict(),
+            "cache": (
+                self.queue.cache.stats_dict()
+                if self.queue.cache is not None
+                else None
+            ),
+            "http": {
+                "requests_served": self.requests_served,
+                "requests_rejected": self.requests_rejected,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+class LocalServer:
+    """Run the whole serving stack on a background thread.
+
+    ``with LocalServer(...) as url:`` yields a ready ``http://host:port``
+    and tears everything down (server, queue, executor) on exit.  This is
+    the in-process deployment: tests, the CLI's spawn-a-server modes and
+    the quickstart example all use it.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        entry=execute_job_spec,
+        use_processes: bool = True,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.cache = cache if cache is not None else (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self._queue_args = dict(
+            cache=self.cache,
+            workers=workers,
+            entry=entry,
+            use_processes=use_processes,
+        )
+        self._host = host
+        self._port = port
+        self.server: Optional[QEDServer] = None
+        self.queue: Optional[JobQueue] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> str:
+        """Start the stack; returns the base URL once the port is bound."""
+        if self._thread is not None:
+            raise RuntimeError("LocalServer already started")
+        self._thread = threading.Thread(
+            target=self._run, name="serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self.base_url
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.queue = JobQueue(**self._queue_args)
+        self.server = QEDServer(self.queue, host=self._host, port=self._port)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    @property
+    def base_url(self) -> str:
+        assert self.server is not None
+        return self.server.base_url
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -14,10 +14,14 @@ never recorded.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.uarch.bugs import bug_by_id
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (designs -> versions)
+    from repro.isa.arch import ArchParams
 
 
 @dataclass(frozen=True)
@@ -48,6 +52,46 @@ class DesignVersion:
     def has_spec_bug(self) -> bool:
         """Whether any of the present bugs is a specification bug."""
         return any(bug_by_id(bug_id).kind == "spec" for bug_id in self.bugs)
+
+    def fingerprint(self, arch: Optional["ArchParams"] = None) -> str:
+        """Content hash of this version's RTL as built for *arch*.
+
+        The version's core is elaborated (bugs injected) and the resulting
+        netlist is hashed structurally
+        (:meth:`repro.rtl.design.Design.structural_hash`), so the
+        fingerprint identifies the design *content*, not the version name:
+        two versions whose injected netlists coincide share a fingerprint,
+        and any RTL-generator or bug-library change shifts it.  This is the
+        invalidation key of the serving layer's result cache -- stale
+        cached verdicts become unreachable the moment the content changes.
+
+        Elaboration takes ~100 ms, so fingerprints are memoized per
+        ``(version, arch)``.
+        """
+        from repro.isa.arch import TINY_PROFILE
+
+        return _fingerprint(self, arch if arch is not None else TINY_PROFILE)
+
+
+@functools.lru_cache(maxsize=None)
+def _fingerprint(version: DesignVersion, arch: "ArchParams") -> str:
+    # Imported here: repro.uarch.designs imports this module at load time.
+    import hashlib
+    import json
+
+    from repro.uarch.designs import build_design
+
+    design = build_design(version, arch=arch)
+    payload = json.dumps(
+        {
+            "format": 1,
+            "arch": arch.to_json_dict(),
+            "netlist": design.structural_hash(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def _v(design: str, version: int, bugs: Tuple[str, ...], note: str) -> DesignVersion:

@@ -1,0 +1,21 @@
+"""Shared helpers for the serving-layer tests (not a test module)."""
+
+from repro.serve.keys import JobSpec
+
+
+def make_spec(bug_id="__echo__", **config):
+    """A synthetic, fully resolved spec for the selftest entry.
+
+    Never executed by the real :func:`repro.serve.queue.execute_job_spec`;
+    the ``__echo__``/``__sleep:S__``/``__crash__`` markers drive
+    :func:`repro.serve.queue._selftest_entry` instead.
+    """
+    return JobSpec(
+        bug_id=bug_id,
+        version="T.v1",
+        fingerprint="f" * 64,
+        mode="eddiv",
+        focus_opcodes=("LDI",),
+        bound=4,
+        config=config,
+    )

@@ -24,6 +24,16 @@ def test_quickstart_finds_the_bug(capsys):
     assert "design under verification" in output
 
 
+def test_serve_quickstart_hits_the_cache(capsys):
+    path = os.path.join(EXAMPLES_DIR, "serve_quickstart.py")
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "verification service up" in output
+    assert "bug detected by ['single_i']" in output
+    assert "cache hit" in output
+    assert "1 executed, 1 cache hits" in output
+
+
 def test_examples_importable_without_side_effects():
     """Importing (not running) an example must not start a campaign."""
     for name in (
@@ -31,6 +41,7 @@ def test_examples_importable_without_side_effects():
         "control_flow_bug_hunt.py",
         "distributed_proof.py",
         "regression_campaign.py",
+        "serve_quickstart.py",
         "spec_bug_and_single_i.py",
     ):
         path = os.path.join(EXAMPLES_DIR, name)
