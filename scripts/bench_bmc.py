@@ -1,12 +1,17 @@
 """Benchmark the BMC formula-reduction pipeline and track the perf trajectory.
 
 Each run records wall-clock, solver work (conflicts, decisions, propagations),
-the learned-clause database carried across bounds, formula sizes, and the
+solver-only time (``solve_seconds``, excluding encode/preprocess) and the
+derived propagation throughput (``propagations_per_second``), the
+learned-clause database carried across bounds, formula sizes, and the
 reduction achieved by each pipeline stage (AIG cone of influence, CNF
 preprocessing).  The default invocation writes ``BENCH_bmc.json`` at the repo
 root so the numbers are tracked across PRs; ``--check`` compares a fresh run
-against a committed baseline and fails on a >2x wall-clock regression, which
-is how CI gates the hot path.
+against a committed baseline and fails on a >2x wall-clock regression, a
+``frames_proven`` decrease, or a propagation-throughput drop below 0.6x of
+the baseline (regression-only: the metric is wall-clock-derived), which is
+how CI gates the hot path.  ``--profile-out`` additionally dumps cProfile
+stats of the dense depth run for profile-guided follow-up work.
 
 Profiles::
 
@@ -56,6 +61,15 @@ REGRESSION_FACTOR = 2.0
 #: Runs faster than this (seconds) are exempt from the factor check --
 #: scheduling jitter dominates at that scale.
 REGRESSION_MIN_SECONDS = 0.5
+#: Propagation-throughput floor: a fresh run's ``propagations_per_second``
+#: must stay above this fraction of the baseline's.  The metric is
+#: wall-clock-derived, so the gate only fires on *regressions* (there is no
+#: upper gate) and only when the run solved long enough for the ratio to
+#: mean anything (see :data:`PPS_MIN_SOLVE_SECONDS`).
+PPS_REGRESSION_FLOOR = 0.6
+#: Solve time below which the throughput gate is skipped: a query answered
+#: in a few hundred milliseconds gives a pps number dominated by noise.
+PPS_MIN_SOLVE_SECONDS = 0.5
 
 
 def _bound_stats_rows(result: BMCResult) -> List[Dict[str, object]]:
@@ -70,6 +84,9 @@ def _summarise(name: str, result: BMCResult) -> Dict[str, object]:
         "status": result.status.value,
         "bound_reached": result.bound_reached,
         "runtime_seconds": round(result.runtime_seconds, 6),
+        "solve_seconds": round(result.solve_seconds, 6),
+        "propagations": result.total_propagations,
+        "propagations_per_second": round(result.propagations_per_second, 1),
         "counterexample_cycles": result.counterexample_length,
         "num_sat_variables": result.num_sat_variables,
         "num_sat_clauses": result.num_sat_clauses,
@@ -163,8 +180,19 @@ def _qed_run(
     return _summarise(name, check.bmc_result)
 
 
-def run_profile(profile: str, max_bound: int) -> List[Dict[str, object]]:
-    """The named bench profile as a list of run summaries."""
+def run_profile(
+    profile: str, max_bound: int, profiler=None
+) -> List[Dict[str, object]]:
+    """The named bench profile as a list of run summaries.
+
+    When *profiler* (a ``cProfile.Profile``) is given, the dense QED-CF
+    budgeted-depth run -- the workload whose hot-path distribution drives
+    the solver's profile-guided work -- is executed a *second* time under
+    the profiler after the recorded (clean) execution.  Profiling roughly
+    doubles the run's wall-clock and halves its propagation throughput, so
+    the profiled pass must never be the one whose numbers land in the
+    report: it would trip the ``--check`` wall-clock and pps gates.
+    """
     runs = run_counter_bench(max_bound)
     if profile == "counter":
         return runs
@@ -196,20 +224,26 @@ def run_profile(profile: str, max_bound: int) -> List[Dict[str, object]]:
     # windows -- the ROADMAP depth metric for the hardest instance family.
     # Runs on the deterministic single-worker distributed engine (cube-and-
     # conquer over window position and opcode bits).
-    runs.append(
-        _qed_run(
-            "depth/B.v6/eddiv_cf/budget3000",
-            "B.v6",
-            "eddiv_cf",
-            7,
-            ["LDI", "ADD", "CMPI", "BZ"],
-            dense=True,
-            expect_violation=False,
-            max_conflicts_per_query=3000,
-            workers=1,
-            cube_conflict_budget=1500,
-        )
+    depth_args = (
+        "depth/B.v6/eddiv_cf/budget3000",
+        "B.v6",
+        "eddiv_cf",
+        7,
+        ["LDI", "ADD", "CMPI", "BZ"],
     )
+    depth_kwargs = dict(
+        dense=True,
+        expect_violation=False,
+        max_conflicts_per_query=3000,
+        workers=1,
+        cube_conflict_budget=1500,
+    )
+    runs.append(_qed_run(*depth_args, **depth_kwargs))
+    if profiler is not None:
+        # Separate profiled pass; its (skewed) numbers are discarded.
+        profiler.enable()
+        _qed_run(*depth_args, **depth_kwargs)
+        profiler.disable()
     # Distributed smoke: a 2-worker cube-and-conquer proof of the clean
     # design, exercising the process pool, work stealing and clause sharing
     # under the CI regression gate.
@@ -350,6 +384,27 @@ def check_regression(
                 f"{name}: {new_seconds:.3f}s vs baseline "
                 f"{old_seconds:.3f}s (limit {limit:.3f}s)"
             )
+            continue
+        # Propagation-throughput floor: gate only on regression (the
+        # metric is wall-clock-derived) and only when both runs solved
+        # long enough for the ratio to be meaningful.
+        old_pps = float(old.get("propagations_per_second", 0.0))
+        new_pps = float(run.get("propagations_per_second", 0.0))
+        old_solve = float(old.get("solve_seconds", 0.0))
+        new_solve = float(run.get("solve_seconds", 0.0))
+        if (
+            old_pps > 0.0
+            and new_pps > 0.0
+            and old_solve >= PPS_MIN_SOLVE_SECONDS
+            and new_solve >= PPS_MIN_SOLVE_SECONDS
+            and new_pps < PPS_REGRESSION_FLOOR * old_pps
+        ):
+            failures.append(
+                f"{name}: propagations_per_second regressed to "
+                f"{new_pps:.0f} vs baseline {old_pps:.0f} "
+                f"(floor {PPS_REGRESSION_FLOOR:g}x = "
+                f"{PPS_REGRESSION_FLOOR * old_pps:.0f})"
+            )
     if compared == 0:
         # A gate that compared nothing must not pass: run renames or a
         # corrupted baseline would otherwise silently disable the check.
@@ -412,7 +467,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--check", metavar="BASELINE", default=None,
         help="compare against a baseline BENCH_bmc.json and exit non-zero "
-        f"on a >{REGRESSION_FACTOR:g}x wall-clock regression",
+        f"on a >{REGRESSION_FACTOR:g}x wall-clock regression, a "
+        "frames_proven decrease, or a propagations_per_second drop below "
+        f"{PPS_REGRESSION_FLOOR:g}x of the baseline",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="dump cProfile stats of the dense QED-CF depth run to PATH "
+        "(pstats format; CI uploads it as an artifact for profile-guided "
+        "work)",
     )
     args = parser.parse_args(argv)
 
@@ -423,7 +486,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.check, "r", encoding="utf-8") as stream:
             baseline = json.load(stream)
 
-    runs = run_profile(args.profile, args.max_bound)
+    profiler = None
+    if args.profile_out:
+        if args.profile == "counter":
+            raise SystemExit(
+                "--profile-out needs the dense depth run; use the fast or "
+                "full profile"
+            )
+        import cProfile
+
+        profiler = cProfile.Profile()
+    runs = run_profile(args.profile, args.max_bound, profiler=profiler)
+    if profiler is not None:
+        profiler.dump_stats(args.profile_out)
+        print(f"wrote {args.profile_out} (cProfile of the dense depth run)")
     if args.via_server:
         runs.extend(run_via_server_bench(workers=max(1, args.workers)))
     if args.qed:

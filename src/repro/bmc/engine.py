@@ -126,6 +126,11 @@ class BoundStats:
     #: "sat", "unsat", "unknown", or "skipped" (no query was needed because
     #: the property is not enforced yet at this bound).
     verdict: str
+    #: Wall-clock spent inside the SAT solver (or the distributed
+    #: scheduler) answering this bound's query -- excludes frame encoding,
+    #: cone-of-influence analysis and slab preprocessing, so
+    #: ``propagations / solve_seconds`` is a pure solver-throughput number.
+    solve_seconds: float = 0.0
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
@@ -157,6 +162,18 @@ class BoundStats:
     dist: Optional[DistStats] = None
 
     @property
+    def propagations_per_second(self) -> float:
+        """Solver propagation throughput of this bound's query.
+
+        Propagations divided by :attr:`solve_seconds` (0.0 for skipped
+        bounds or queries too fast to time) -- the per-bound form of the
+        benchmark gate metric.
+        """
+        if self.solve_seconds <= 0.0:
+            return 0.0
+        return self.propagations / self.solve_seconds
+
+    @property
     def variables_eliminated(self) -> int:
         """Variables removed from this bound's slab by preprocessing."""
         return self.preprocess.variables_eliminated if self.preprocess else 0
@@ -178,6 +195,8 @@ class BoundStats:
             "window_start": self.window_start,
             "verdict": self.verdict,
             "runtime_seconds": round(self.runtime_seconds, 6),
+            "solve_seconds": round(self.solve_seconds, 6),
+            "propagations_per_second": round(self.propagations_per_second, 1),
             "conflicts": self.conflicts,
             "decisions": self.decisions,
             "propagations": self.propagations,
@@ -264,6 +283,28 @@ class BMCResult:
     def total_learned_clauses(self) -> int:
         """Clauses learned across the whole run."""
         return sum(stats.learned_clauses for stats in self.per_bound_stats)
+
+    @property
+    def total_propagations(self) -> int:
+        """Unit propagations summed over every bound's query."""
+        return sum(stats.propagations for stats in self.per_bound_stats)
+
+    @property
+    def solve_seconds(self) -> float:
+        """Wall-clock spent inside the solver, summed over every bound.
+
+        Excludes encoding, cone analysis and preprocessing -- the
+        denominator of :attr:`propagations_per_second`.
+        """
+        return sum(stats.solve_seconds for stats in self.per_bound_stats)
+
+    @property
+    def propagations_per_second(self) -> float:
+        """Whole-run solver propagation throughput (0.0 when untimed)."""
+        seconds = self.solve_seconds
+        if seconds <= 0.0:
+            return 0.0
+        return self.total_propagations / seconds
 
     @property
     def learned_clauses_carried(self) -> int:
@@ -487,6 +528,11 @@ class BoundedModelChecker:
         #: Cumulative reconstruction stack of preprocessing-eliminated
         #: variables (see :func:`repro.sat.preprocess.extend_model`).
         self._elim_stack: List[EliminationRecord] = []
+        #: Persistent cube-and-conquer scheduler (``problem.split`` runs):
+        #: kept across bounds so the inline single-worker path reuses its
+        #: solver incrementally -- the engine's clause list only ever grows,
+        #: which is the contract ``SplitQuery.incremental`` declares.
+        self._dist_scheduler: Optional[WorkScheduler] = None
 
     # ------------------------------------------------------------------
     def _sync_solver(self) -> CDCLSolver:
@@ -742,6 +788,7 @@ class BoundedModelChecker:
             resplit_vars=lookahead[used:],
             frozen=frozenset(frozen),
             max_conflicts=self.problem.max_conflicts_per_query,
+            incremental=True,
         )
 
     def _solve_distributed(
@@ -754,7 +801,9 @@ class BoundedModelChecker:
         query = self._build_split_query(
             activation_var, window_roots, window_cone
         )
-        result = WorkScheduler(self.problem.split).solve(query)
+        if self._dist_scheduler is None:
+            self._dist_scheduler = WorkScheduler(self.problem.split)
+        result = self._dist_scheduler.solve(query)
         # The distributed path never feeds the in-process solver; advance
         # the slab cursors so the next bound's preprocessing still operates
         # on only its new clauses (with earlier variables frozen).
@@ -969,19 +1018,27 @@ class BoundedModelChecker:
                 if result.is_unsat:
                     self._retire_window(activation_var, window_start, bound)
                 learned_carried = 0
+                # Scheduler wall time: cube solving only -- query building
+                # (look-ahead split scoring) and window retirement are not
+                # solver throughput.
+                solve_seconds = dist_stats.wall_seconds
             else:
                 solver = self._sync_solver()
+                solve_start = time.perf_counter()
                 result = solver.solve(
                     assumptions=[activation_var],
                     max_conflicts=problem.max_conflicts_per_query,
                 )
+                solve_seconds = time.perf_counter() - solve_start
                 solve_results = [result]
                 if result.is_sat and self._pending_assumptions:
                     # The SAT answer is provisional: confirm it against the
                     # deferred (off-cone) environmental assumptions.
                     asserted += deferred
                     deferred = 0
+                    resolve_start = time.perf_counter()
                     result = self._assert_deferred_and_resolve(activation_var)
+                    solve_seconds += time.perf_counter() - resolve_start
                     solve_results.append(result)
                 if result.is_unsat:
                     self._retire_window(activation_var, window_start, bound)
@@ -995,6 +1052,7 @@ class BoundedModelChecker:
                     bound=bound,
                     window_start=window_start,
                     runtime_seconds=elapsed,
+                    solve_seconds=solve_seconds,
                     verdict=result.status.value,
                     conflicts=sum(r.stats.conflicts for r in solve_results),
                     decisions=sum(r.stats.decisions for r in solve_results),

@@ -247,6 +247,15 @@ class SplitQuery:
     ``max_conflicts`` is the global budget over all cubes -- exceeded means
     the merged verdict is UNKNOWN, matching the sequential engine's
     per-query budget semantics.
+
+    ``incremental`` declares that ``clauses`` extends the previous query's
+    clause list handed to the same scheduler *by appending only* (the BMC
+    engine's per-bound contract: earlier clauses are never edited, the
+    formula only grows).  The inline single-worker path then reuses its
+    solver across queries -- new clauses are fed through the solver's
+    incremental ``add_clause`` and learned clauses carry over between
+    bounds, exactly like the sequential engine's solver reuse.  Leave it
+    ``False`` (the default) for standalone queries.
     """
 
     clauses: List[List[Literal]]
@@ -256,6 +265,7 @@ class SplitQuery:
     resplit_vars: List[int] = field(default_factory=list)
     frozen: FrozenSet[int] = frozenset()
     max_conflicts: Optional[int] = None
+    incremental: bool = False
 
 
 @dataclass
@@ -299,10 +309,22 @@ def _next_resplit_var(cube: Cube, resplit_vars: Sequence[int]) -> Optional[int]:
 
 
 class WorkScheduler:
-    """Fan one :class:`SplitQuery` out over cubes and worker processes."""
+    """Fan one :class:`SplitQuery` out over cubes and worker processes.
+
+    A scheduler instance may be kept across queries: when consecutive
+    queries declare :attr:`SplitQuery.incremental`, the inline
+    single-worker path keeps one CDCL solver alive and feeds it only the
+    clauses appended since the previous query, so learned clauses, variable
+    activities and saved phases carry across BMC bounds instead of being
+    rebuilt from scratch per bound.
+    """
 
     def __init__(self, config: Optional[SplitConfig] = None) -> None:
         self.config = config or SplitConfig()
+        #: Inline-path solver kept across incremental queries, and how many
+        #: clauses of the (growing) query clause list it has been fed.
+        self._inline_solver = None
+        self._inline_clauses_fed = 0
 
     # ------------------------------------------------------------------
     def solve(self, query: SplitQuery) -> DistResult:
@@ -357,12 +379,13 @@ class WorkScheduler:
         Clause sharing is implicit -- every learned clause (not just the
         short ones) stays in the shared database for the following cubes,
         which is strictly stronger than the parallel sharing protocol.
+        Across :attr:`SplitQuery.incremental` queries the solver itself is
+        reused (only the appended clause tail is fed), so the sharing also
+        spans bounds.
         """
         config = self.config
         personality = config.configs[0]
-        solver, reduction = personality.build_solver(
-            query.clauses, query.num_vars, query.frozen
-        )
+        solver, reduction = self._inline_solver_for(query, personality)
         stats = DistStats(workers=1, strategy=config.strategy)
         pending = deque((cube, False) for cube in query.cubes)
         spent = 0
@@ -425,6 +448,47 @@ class WorkScheduler:
         if unknown_final:
             return DistResult(SolverStatus.UNKNOWN, stats=stats)
         return DistResult(SolverStatus.UNSAT, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _inline_solver_for(self, query: SplitQuery, personality):
+        """Build the inline-path solver, or reuse the previous query's.
+
+        Reuse requires the query to declare the append-only clause contract
+        (:attr:`SplitQuery.incremental`) and the personality to not run
+        whole-formula preprocessing (a preprocessed solver's variable space
+        is reduction-specific, so it cannot absorb raw appended clauses).
+        The reused solver is grown with ``ensure_num_vars`` and fed the
+        clause tail through the incremental ``add_clause`` path; everything
+        it learned in earlier queries is implied by the (monotonically
+        growing) clause database, so carrying it over is sound.
+        """
+        solver = self._inline_solver
+        if (
+            query.incremental
+            and solver is not None
+            and not personality.preprocess
+            and len(query.clauses) >= self._inline_clauses_fed
+        ):
+            solver.ensure_num_vars(query.num_vars)
+            clauses = query.clauses
+            for index in range(self._inline_clauses_fed, len(clauses)):
+                solver.add_clause(clauses[index])
+            self._inline_clauses_fed = len(clauses)
+            return solver, None
+        solver, reduction = personality.build_solver(
+            query.clauses, query.num_vars, query.frozen
+        )
+        if query.incremental and not personality.preprocess:
+            self._inline_solver = solver
+            self._inline_clauses_fed = len(query.clauses)
+        else:
+            # Any rebuild that is not itself cacheable invalidates the
+            # cache: a later incremental query's clause list extends *its
+            # predecessor*, not whatever an older cached solver was built
+            # from, so reusing the stale solver could mix two formulas.
+            self._inline_solver = None
+            self._inline_clauses_fed = 0
+        return solver, reduction
 
     # ------------------------------------------------------------------
     def _dispatch_budget(self, query: SplitQuery, spent: int) -> Optional[int]:

@@ -199,6 +199,11 @@ class BugDetectionRecord:
     qed_counterexample_cycles: int = 0
     qed_counterexample_instructions: int = 0
     qed_solver_conflicts: int = 0
+    qed_solver_propagations: int = 0
+    #: Wall-clock inside the SAT solver (excludes encoding/preprocessing);
+    #: ``qed_solver_propagations / qed_solve_seconds`` is the run's
+    #: propagation throughput.
+    qed_solve_seconds: float = 0.0
     qed_learned_clauses: int = 0
     qed_learned_clauses_reused: int = 0
     qed_variables_eliminated: int = 0
@@ -249,6 +254,7 @@ class BugDetectionRecord:
 RECORD_VOLATILE_FIELDS: Tuple[str, ...] = (
     "qed_runtime_seconds",
     "qed_preprocess_seconds",
+    "qed_solve_seconds",
     "single_i_runtime_seconds",
     "served_from_cache",
     "cache_key",
@@ -357,6 +363,8 @@ def _run_qed_feature(
     record.qed_counterexample_cycles = result.counterexample_cycles
     record.qed_counterexample_instructions = result.counterexample_instructions
     record.qed_solver_conflicts = result.solver_conflicts
+    record.qed_solver_propagations = result.solver_propagations
+    record.qed_solve_seconds = result.solve_seconds
     record.qed_learned_clauses = result.learned_clauses
     record.qed_learned_clauses_reused = result.learned_clauses_reused
     record.qed_variables_eliminated = result.bmc_result.variables_eliminated

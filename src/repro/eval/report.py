@@ -102,20 +102,35 @@ def runtime_statistics(values: Iterable[float]) -> Optional[Dict[str, float]]:
     }
 
 
-def solver_reuse_statistics(campaign: CampaignResult) -> Dict[str, int]:
+def solver_reuse_statistics(campaign: CampaignResult) -> Dict[str, object]:
     """Aggregate SAT-solver work of the campaign's Symbolic QED runs.
 
     Complements the Table 2 runtimes with the incremental-engine counters:
     total conflicts, clauses learned, and how many learned clauses later
     bounds inherited from earlier ones (non-zero only when the incremental
     reuse actually kicks in, i.e. for multi-bound schedules).
+
+    The ``throughput`` section reports the flat-arena propagation core's
+    speed: total unit propagations, the wall-clock spent *inside* the
+    solver (excluding encoding and preprocessing), and their ratio --
+    the same propagations-per-second number ``scripts/bench_bmc.py``
+    records and CI gates against a regression floor.
     """
+    propagations = sum(r.qed_solver_propagations for r in campaign.records)
+    solve_seconds = sum(r.qed_solve_seconds for r in campaign.records)
     return {
         "conflicts": sum(r.qed_solver_conflicts for r in campaign.records),
         "learned_clauses": sum(r.qed_learned_clauses for r in campaign.records),
         "learned_clauses_reused": sum(
             r.qed_learned_clauses_reused for r in campaign.records
         ),
+        "throughput": {
+            "propagations": propagations,
+            "solve_seconds": solve_seconds,
+            "propagations_per_second": (
+                propagations / solve_seconds if solve_seconds > 0 else 0.0
+            ),
+        },
     }
 
 

@@ -73,6 +73,16 @@ class QEDCheckResult:
         return self.bmc_result.total_conflicts
 
     @property
+    def solver_propagations(self) -> int:
+        """Total unit propagations across every bound of the run."""
+        return self.bmc_result.total_propagations
+
+    @property
+    def solve_seconds(self) -> float:
+        """Wall-clock inside the solver (excludes encode/preprocess)."""
+        return self.bmc_result.solve_seconds
+
+    @property
     def learned_clauses(self) -> int:
         """Clauses learned by the shared solver across the whole run."""
         return self.bmc_result.total_learned_clauses

@@ -15,7 +15,7 @@ the same pipeline from scratch).  This package provides:
   blocked-clause elimination) with a frozen-variable contract that makes it
   sound for the incremental BMC engine's per-bound clause slabs, plus the
   lightweight whole-CNF clean-up :func:`repro.sat.preprocess.simplify_cnf`
-  (formerly :mod:`repro.sat.simplify`, now a deprecated shim).
+  (which absorbed the retired ``repro.sat.simplify`` module).
 
 The public entry point used by the rest of the library is
 :func:`repro.sat.solve`.

@@ -1,13 +1,13 @@
-"""A CDCL SAT solver with sound incremental reuse.
+"""A CDCL SAT solver with sound incremental reuse and a flat clause arena.
 
 The solver implements the standard modern architecture:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation with blocker literals,
 * VSIDS-style activity-based decision heuristic with phase saving,
-* first-UIP conflict analysis with clause learning and non-chronological
-  backjumping,
+* first-UIP conflict analysis with clause learning, recursive
+  learned-clause minimisation and non-chronological backjumping,
 * Luby-sequence restarts,
-* learned-clause database reduction based on activity.
+* Glucose-style learned-clause database reduction (LBD-ranked).
 
 On top of the one-shot interface the solver supports the MiniSat-style
 incremental contract that the bounded model checker in :mod:`repro.bmc`
@@ -26,11 +26,76 @@ relies on:
   check :attr:`SolverResult.is_unsat` (or ``status``), never ``not
   result.satisfiable``, when a definitive refutation is required.
 
+Clause arena layout
+-------------------
+
+The clause database is a single contiguous flat sequence of machine words
+(a Python list of ints).  Each clause is a 5-word header followed by its
+literals inline, and is addressed by the arena offset of its first header
+word::
+
+    offset  +0      +1       +2     +3          +4      +5 ... +5+size-1
+            [size]  [flags]  [lbd]  [act-slot]  [scan]  [lit0] ... [litN]
+
+    flags   bit 0: learned clause, bit 1: dead (transient mark during
+            compaction; never set between public calls)
+    lbd     literal-block distance at learn time (0 for originals)
+    act     index into the parallel list of clause activities
+            (floats cannot live in the integer arena)
+    scan    saved replacement-watch scan position (relative body index in
+            ``[2, size)``): the next scan for a non-false literal resumes
+            where the previous one stopped and wraps around, instead of
+            re-reading the recently-falsified prefix every visit
+            (circular search, Gent 2013)
+
+The backing store is a plain list rather than ``array('i')`` on purpose:
+a C-typed array halves the memory but *boxes a fresh int object on every
+read*, which measures ~25% slower than list indexing (list reads hand back
+a cached reference) across the propagation and analysis loops -- in pure
+Python the arena's win is the elimination of per-clause list objects and
+their allocator traffic, not byte-level compactness.
+
+Everything that used to be a clause *index* -- watch-list entries, the
+``_reason`` of each assigned variable, the conflict reference returned by
+propagation -- is an arena *offset*.  Literals are stored in the
+even/odd encoding ``2*v`` (positive) / ``2*v + 1`` (negative), so negation
+is ``lit ^ 1``, the variable is ``lit >> 1`` and a literal indexes its own
+watch list directly; the public API (``add_clause``, assumptions, exported
+clauses, models) keeps the signed DIMACS convention and converts at the
+boundary.  Truth values are read from ``_litval``, a per-*literal* table
+(1 true, 0 false, -1 unassigned; both phases updated on assign), which
+removes the sign branch from every hot-loop value lookup.
+
+Binary clauses never touch the arena body during propagation: they live
+in dedicated per-literal implication lists of (other literal, offset)
+pairs, so a falsified literal immediately yields each implied literal (or
+the conflict) without loading or reordering any clause, and the binary
+sweep needs none of the replacement-watch/compaction bookkeeping of the
+long-clause sweep (a binary watcher can never relocate).  The arena copy
+of a binary clause exists only for conflict analysis to walk.
+
+Database reduction is an in-place mark-and-compact garbage collection:
+
+1. rank learned clauses by (LBD desc, activity asc) and mark the worse
+   half dead (glue/binary/locked clauses are exempt),
+2. slide every live clause down over the dead ones in one pass over the
+   arena (``arena[w:w+n] = arena[r:r+n]`` block moves), recording an
+   old-offset -> new-offset map and re-slotting activities in lockstep,
+3. remap watch lists (dropping pairs of dead clauses) and the ``_reason``
+   offsets of the trail in a single pass each.
+
+No Python clause objects are rebuilt, and clause order -- hence search
+determinism -- is preserved.  Exported clauses (cube-and-conquer sharing)
+are copied out of the arena *at learn time*, so a compaction between
+learning and :meth:`drain_exported` can never leave a dangling offset in
+the export buffer.
+
 It is written for clarity first and speed second, but the hot loop
-(propagation) avoids per-literal object allocation so that the bounded model
-checking problems generated by :mod:`repro.bmc` (tens of thousands of clauses)
-solve quickly, and the full Symbolic QED runs in seconds -- which is the
-regime the paper reports for Onespin on the industrial cores.
+(propagation) avoids per-literal object allocation and pointer-chasing so
+that the bounded model checking problems generated by :mod:`repro.bmc`
+(tens of thousands of clauses) solve quickly, and the full Symbolic QED
+runs in seconds -- which is the regime the paper reports for Onespin on
+the industrial cores.
 """
 
 from __future__ import annotations
@@ -43,6 +108,12 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.sat.cnf import CNF, Literal, var_of
 
 _UNASSIGNED = -1
+
+#: Arena header words before a clause's literals (size, flags, lbd, act,
+#: saved scan position).
+_HDR = 5
+_F_LEARNED = 1
+_F_DEAD = 2
 
 
 class SolverStatus(Enum):
@@ -132,7 +203,7 @@ def _luby(i: int) -> int:
 
 
 class CDCLSolver:
-    """Conflict-driven clause-learning SAT solver."""
+    """Conflict-driven clause-learning SAT solver over a flat clause arena."""
 
     def __init__(
         self,
@@ -157,35 +228,40 @@ class CDCLSolver:
         # into a buffer that the owner drains and broadcasts to its peers.
         # Exported clauses are implied by the clause database alone (never
         # by the per-call assumptions), so they are sound to share between
-        # workers solving different cubes of the same formula.
+        # workers solving different cubes of the same formula.  The copy is
+        # taken at learn time (decoded back to signed literals), so database
+        # compaction between learning and draining cannot invalidate it.
         self._export_max_lbd: Optional[int] = None
         self._export_max_length = 8
         self._exported: List[List[Literal]] = []
 
-        # Clause database: list of lists of literals.  Original and learned
-        # clauses are interleaved (originals may arrive between solve calls),
-        # so each clause carries a learned flag instead of relying on a
-        # prefix/suffix split.
-        self._clauses: List[List[Literal]] = []
-        self._clause_learned: List[bool] = []
+        # Clause database: one contiguous int arena (see the module
+        # docstring for the header layout) plus a parallel float list of
+        # clause activities indexed by the header's activity slot.  Both are
+        # flat Python lists rather than ``array('i')``/``array('d')``:
+        # C-typed arrays halve the memory but box a fresh object on every
+        # read, which measures ~25% slower in the propagation/analysis loops
+        # -- see the module docstring.
+        self._arena: List[int] = []
+        self._act: List[float] = []
         self._num_original = 0
         self._num_learned_live = 0
-        self._clause_activity: List[float] = []
-        #: Literal-block distance (number of distinct decision levels) of
-        #: each clause at learn time; 0 for originals.  Low-LBD ("glue")
-        #: clauses are protected from database reduction.
-        self._clause_lbd: List[int] = []
         self._clause_bump = 1.0
         #: Learned clauses allowed before the next database reduction; grows
         #: linearly with each reduction so the database stays bounded on
         #: hard instances instead of scaling with the original clause count.
         self._reduce_threshold = 4000
 
-        # Assignment state (index 0 unused).
-        self._assign: List[int] = [_UNASSIGNED]  # -1 / 0 / 1
+        # Assignment state.  ``_litval`` is indexed by *encoded literal*
+        # (2v / 2v+1) and holds 1 (true), 0 (false) or -1 (unassigned) for
+        # that literal; both phases are written on every assign/unassign so
+        # the hot loops never branch on literal sign.  ``_level``/``_reason``
+        # and the saved ``_phase`` are per-variable (index 0 unused);
+        # ``_reason`` holds an arena offset or -1 for decisions/assumptions.
+        self._litval: List[int] = [-1, -1]
         self._level: List[int] = [0]
-        self._reason: List[int] = [-1]  # clause index or -1 for decision
-        self._trail: List[Literal] = []
+        self._reason: List[int] = [-1]
+        self._trail: List[int] = []  # encoded literals, assignment order
         self._trail_lim: List[int] = []
         self._qhead = 0
 
@@ -200,18 +276,38 @@ class CDCLSolver:
         self._phase: List[bool] = [default_phase]
         self._order_heap: List[tuple] = []
         self._heap_entries: List[int] = [0]
-        # Reusable scratch buffer for conflict analysis.
-        self._seen: List[bool] = [False]
+        # Reusable scratch marks for conflict analysis and clause
+        # minimisation: 0 = unseen, 1 = part of the conflict/learned tail,
+        # 2 = proven redundant (removable), 3 = proven non-redundant
+        # (poison).  2/3 are exact per-variable verdict caches that persist
+        # across the candidate walks of one conflict (see
+        # :meth:`_lit_redundant`); every non-zero mark is appended to the
+        # analysis ``touched`` list and cleared before the next conflict.
+        self._seen: List[int] = [0]
+        # Persistent DFS frame stacks of the minimisation walk (parallel
+        # lists indexed by depth; see :meth:`_lit_redundant`).
+        self._ccmin_vars: List[int] = []
+        self._ccmin_ks: List[int] = []
+        self._ccmin_ends: List[int] = []
 
-        # Watches: literal -> flat list of (clause index, blocker literal)
-        # pairs, stored as ``[c0, b0, c1, b1, ...]`` to avoid per-watcher
-        # tuple allocation.  Indexed by encoded literal (2*v positive,
-        # 2*v+1 negative).  The blocker is a literal of the clause (usually
-        # the other watched literal); when it is already true the clause is
-        # satisfied and propagation skips it without touching the clause --
-        # the MiniSat 2.2 "blocker literal" optimisation, which matters in
-        # Python because it removes a list indirection from the hot loop.
-        self._watches: List[List[int]] = [[], []]
+        # Watches: encoded literal -> parallel per-literal lists of watcher
+        # blockers (``_wblock``) and their clauses' arena offsets
+        # (``_wref``).  The blocker is a literal of the clause; when it is
+        # already true the clause is satisfied and propagation skips it
+        # without touching the arena or even the offset list -- the MiniSat
+        # 2.2 "blocker literal" optimisation.  The split into two parallel
+        # lists (rather than interleaved pairs) lets the hot sweep iterate
+        # the blockers with a C-level ``enumerate`` and read offsets only
+        # for the minority of visits that get past the blocker test.
+        # Binary clauses live in their own per-literal implication lists
+        # (``_bin_lit``/``_bin_ref``, same parallel split): a binary
+        # watcher never relocates and its "blocker" *is* the whole rest of
+        # the clause, so the binary sweep runs without the
+        # replacement-watch scan or any compaction bookkeeping.
+        self._wblock: List[List[int]] = [[], []]
+        self._wref: List[List[int]] = [[], []]
+        self._bin_lit: List[List[int]] = [[], []]
+        self._bin_ref: List[List[int]] = [[], []]
 
         self.stats = SolverStats()
         self._trivially_unsat = False
@@ -238,14 +334,17 @@ class CDCLSolver:
         if num_vars <= self._num_vars:
             return
         grow = num_vars - self._num_vars
-        self._assign.extend([_UNASSIGNED] * grow)
+        self._litval.extend([-1] * (2 * grow))
         self._level.extend([0] * grow)
         self._reason.extend([-1] * grow)
         self._activity.extend([0.0] * grow)
         self._phase.extend([self._default_phase] * grow)
-        self._seen.extend([False] * grow)
+        self._seen.extend([0] * grow)
         self._heap_entries.extend([1] * grow)
-        self._watches.extend([] for _ in range(2 * grow))
+        self._wblock.extend([] for _ in range(2 * grow))
+        self._wref.extend([] for _ in range(2 * grow))
+        self._bin_lit.extend([] for _ in range(2 * grow))
+        self._bin_ref.extend([] for _ in range(2 * grow))
         for variable in range(self._num_vars + 1, num_vars + 1):
             heapq.heappush(self._order_heap, (0.0, variable))
         self._num_vars = num_vars
@@ -253,16 +352,21 @@ class CDCLSolver:
     # ------------------------------------------------------------------
     # Clause database
     # ------------------------------------------------------------------
-    @staticmethod
-    def _watch_index(literal: Literal) -> int:
-        v = var_of(literal)
-        return 2 * v if literal > 0 else 2 * v + 1
+    def _watch(self, offset: int, literal: int, blocker: int) -> None:
+        """Register clause *offset* on encoded *literal* with *blocker*.
 
-    def _watch(self, clause_index: int, literal: Literal, blocker: Literal) -> None:
-        """Register *clause_index* on *literal*'s watch list with *blocker*."""
-        watch_list = self._watches[self._watch_index(literal)]
-        watch_list.append(clause_index)
-        watch_list.append(blocker)
+        The blocker and offset go to parallel per-literal lists (the
+        satisfied-blocker test resolves most visits without ever reading
+        the offset list).  Binary clauses go to the dedicated implication
+        lists instead (for them *blocker* is by construction the other
+        literal of the clause), so the long-clause sweep never sees them.
+        """
+        if self._arena[offset] == 2:
+            self._bin_lit[literal].append(blocker)
+            self._bin_ref[literal].append(offset)
+            return
+        self._wblock[literal].append(blocker)
+        self._wref[literal].append(offset)
 
     def add_clause(self, literals: Sequence[Literal]) -> None:
         """Add an original clause; legal between :meth:`solve` calls.
@@ -281,15 +385,17 @@ class CDCLSolver:
         if clause is None:
             return  # tautology
         for lit in clause:
-            self.ensure_num_vars(var_of(lit))
+            self.ensure_num_vars(lit if lit > 0 else -lit)
         # Simplify against the (permanent) level-0 assignment.
-        simplified: List[Literal] = []
+        litval = self._litval
+        simplified: List[int] = []
         for lit in clause:
-            value = self._lit_value(lit)
+            encoded = lit + lit if lit > 0 else 1 - lit - lit
+            value = litval[encoded]
             if value == 1:
                 return  # already satisfied forever
-            if value == _UNASSIGNED:
-                simplified.append(lit)
+            if value == -1:
+                simplified.append(encoded)
         if not simplified:
             self._trivially_unsat = True
             return
@@ -298,14 +404,18 @@ class CDCLSolver:
             if self._propagate() != -1:
                 self._trivially_unsat = True
             return
-        index = len(self._clauses)
-        self._clauses.append(simplified)
-        self._clause_learned.append(False)
-        self._clause_activity.append(0.0)
-        self._clause_lbd.append(0)
+        arena = self._arena
+        offset = len(arena)
+        self._act.append(0.0)
+        arena.append(len(simplified))
+        arena.append(0)
+        arena.append(0)
+        arena.append(len(self._act) - 1)
+        arena.append(2)
+        arena.extend(simplified)
         self._num_original += 1
-        self._watch(index, simplified[0], simplified[1])
-        self._watch(index, simplified[1], simplified[0])
+        self._watch(offset, simplified[0], simplified[1])
+        self._watch(offset, simplified[1], simplified[0])
 
     def add_clauses(self, clauses: Iterable[Sequence[Literal]]) -> None:
         """Add several original clauses between solve calls."""
@@ -335,6 +445,11 @@ class CDCLSolver:
         learned; :meth:`drain_exported` hands them to the caller.  Unit
         clauses learned at level 0 are always exported (LBD 1, the most
         valuable shares).
+
+        The buffered clauses are value copies in the signed public literal
+        convention, taken the moment the clause is learned -- they stay
+        valid even if a database compaction (:meth:`_reduce_learned`)
+        deletes or relocates the arena clause before the owner drains them.
         """
         self._export_max_lbd = max_lbd
         self._export_max_length = max_length
@@ -345,26 +460,34 @@ class CDCLSolver:
         self._exported = []
         return exported
 
-    def _add_learned_clause(self, clause: List[Literal]) -> int:
-        index = len(self._clauses)
+    def _add_learned_clause(self, clause: List[int]) -> int:
+        arena = self._arena
+        offset = len(arena)
         level_of = self._level
-        lbd = len({level_of[lit if lit > 0 else -lit] for lit in clause})
+        lbd = len({level_of[lit >> 1] for lit in clause})
         if (
             self._export_max_lbd is not None
             and lbd <= self._export_max_lbd
             and len(clause) <= self._export_max_length
         ):
-            self._exported.append(list(clause))
-        self._clauses.append(clause)
-        self._clause_learned.append(True)
-        self._clause_activity.append(self._clause_bump)
-        self._clause_lbd.append(lbd)
+            # Copy-out at learn time (decoded): compaction can delete or
+            # move the arena clause before the owner drains the buffer.
+            self._exported.append(
+                [lit >> 1 if not lit & 1 else -(lit >> 1) for lit in clause]
+            )
+        self._act.append(self._clause_bump)
+        arena.append(len(clause))
+        arena.append(_F_LEARNED)
+        arena.append(lbd)
+        arena.append(len(self._act) - 1)
+        arena.append(2)
+        arena.extend(clause)
         self._num_learned_live += 1
         self.stats.learned_clauses += 1
         if len(clause) >= 2:
-            self._watch(index, clause[0], clause[1])
-            self._watch(index, clause[1], clause[0])
-        return index
+            self._watch(offset, clause[0], clause[1])
+            self._watch(offset, clause[1], clause[0])
+        return offset
 
     @property
     def num_learned_clauses(self) -> int:
@@ -374,238 +497,394 @@ class CDCLSolver:
     # ------------------------------------------------------------------
     # Assignment helpers
     # ------------------------------------------------------------------
-    def _lit_value(self, literal: Literal) -> int:
-        """Return 1 (true), 0 (false) or -1 (unassigned) for *literal*."""
-        value = self._assign[var_of(literal)]
-        if value == _UNASSIGNED:
-            return _UNASSIGNED
-        if literal > 0:
-            return value
-        return 1 - value
-
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
-    def _enqueue(self, literal: Literal, reason: int) -> None:
-        variable = var_of(literal)
-        self._assign[variable] = 1 if literal > 0 else 0
-        self._level[variable] = self._decision_level()
+    def _enqueue(self, literal: int, reason: int) -> None:
+        """Assign encoded *literal* with *reason* (arena offset or -1)."""
+        variable = literal >> 1
+        litval = self._litval
+        litval[literal] = 1
+        litval[literal ^ 1] = 0
+        self._level[variable] = len(self._trail_lim)
         self._reason[variable] = reason
-        self._phase[variable] = literal > 0
+        self._phase[variable] = not literal & 1
         self._trail.append(literal)
 
     def _propagate(self) -> int:
-        """Run unit propagation; return a conflicting clause index or -1.
+        """Run unit propagation; return a conflicting arena offset or -1.
 
-        This is the solver's hot loop: literal values, watch indices and the
-        enqueue are inlined (no helper calls) because Python function-call
-        overhead dominates at the clause counts the BMC engine generates.
+        This is the solver's hot loop: truth lookups are single list reads
+        (no sign branch, thanks to the per-literal value table), clause
+        bodies are read straight out of the integer arena, and binary
+        clauses are resolved from their implication pair alone -- their
+        blocker is by construction the other literal, so neither the swap
+        nor the replacement-watch scan ever runs for them.
+
+        The long-clause sweep runs in two phases.  Phase 1 iterates the
+        blocker list with a C-level ``enumerate`` and performs no watcher
+        removal -- the dominant visits (blocker satisfied, watched literal
+        satisfied, unit) cost a couple of list reads each and at most
+        refresh the blocker in place.  The first watcher that *moves away*
+        (a replacement watch was found) leaves a hole; the sweep drops into
+        phase 2, the classical in-place compacting loop, for the rest of
+        the list.  Most sweeps never leave phase 1, so the common case
+        pays no compaction bookkeeping at all.
         """
-        clauses = self._clauses
-        watches = self._watches
-        assign = self._assign
+        arena = self._arena
+        wblocks = self._wblock
+        wrefs = self._wref
+        bin_lits = self._bin_lit
+        bin_refs = self._bin_ref
+        litval = self._litval
         level_of = self._level
         reason = self._reason
         phase = self._phase
         trail = self._trail
-        trail_lim = self._trail_lim
-        propagations = 0
-        while self._qhead < len(trail):
-            literal = trail[self._qhead]
-            self._qhead += 1
-            propagations += 1
-            false_lit = -literal
-            if false_lit > 0:
-                watch_list = watches[2 * false_lit]
-            else:
-                watch_list = watches[-2 * false_lit + 1]
-            # Kept watchers are compacted in place (write index ``keep``);
-            # rebuilding the list per propagation shows up heavily at BMC
-            # clause counts.  Watchers are (clause index, blocker) pairs.
-            keep = 0
-            i = 0
-            n = len(watch_list)
-            conflict = -1
-            while i < n:
-                clause_index = watch_list[i]
-                blocker = watch_list[i + 1]
-                i += 2
+        qhead = self._qhead
+        entry_qhead = qhead
+        trail_len = len(trail)
+        # The decision level is constant for the whole propagation fixpoint
+        # (decisions happen between _propagate calls), so hoist it.
+        level = len(self._trail_lim)
+        conflict = -1
+        while qhead < trail_len:
+            literal = trail[qhead]
+            qhead += 1
+            false_lit = literal ^ 1
+            # Binary implications first: the implied literal is read
+            # straight off the list; the arena offset (for the reason /
+            # conflict reference) is read only when it is actually needed.
+            blist = bin_lits[false_lit]
+            if blist:
+                refs = bin_refs[false_lit]
+                for idx, other in enumerate(blist):
+                    value = litval[other]
+                    if value == -1:
+                        variable = other >> 1
+                        litval[other] = 1
+                        litval[other ^ 1] = 0
+                        level_of[variable] = level
+                        reason[variable] = refs[idx]
+                        phase[variable] = not other & 1
+                        trail.append(other)
+                        trail_len += 1
+                    elif value == 0:
+                        conflict = refs[idx]
+                        break
+                if conflict != -1:
+                    break
+            # Long clauses, phase 1: no watcher has left the list yet.
+            blockers = wblocks[false_lit]
+            refs = wrefs[false_lit]
+            hole = -1
+            for i, blocker in enumerate(blockers):
                 # Blocker already true: clause satisfied, skip untouched.
-                if blocker > 0:
-                    if assign[blocker] == 1:
-                        watch_list[keep] = clause_index
-                        watch_list[keep + 1] = blocker
-                        keep += 2
-                        continue
-                elif assign[-blocker] == 0:
-                    watch_list[keep] = clause_index
-                    watch_list[keep + 1] = blocker
-                    keep += 2
+                if litval[blocker] == 1:
                     continue
-                clause = clauses[clause_index]
+                offset = refs[i]
+                base = offset + 5
                 # Ensure the falsified literal is in slot 1.
-                if clause[0] == false_lit:
-                    clause[0] = clause[1]
-                    clause[1] = false_lit
-                first = clause[0]
-                if first > 0:
-                    first_value = assign[first]
-                    first_true = 1
-                else:
-                    first_value = assign[-first]
-                    first_true = 0
-                if first_value == first_true:
-                    watch_list[keep] = clause_index
-                    watch_list[keep + 1] = first  # refresh the blocker
-                    keep += 2
+                first = arena[base]
+                if first == false_lit:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = false_lit
+                first_value = litval[first]
+                if first_value == 1:
+                    # Refresh the blocker to the satisfied watched literal.
+                    blockers[i] = first
                     continue
-                # Look for a replacement watch.
-                replaced = False
-                for k in range(2, len(clause)):
-                    lit_k = clause[k]
-                    if lit_k > 0:
-                        if assign[lit_k] != 0:
-                            clause[1] = lit_k
-                            clause[k] = false_lit
-                            other_list = watches[2 * lit_k]
-                            other_list.append(clause_index)
-                            other_list.append(first)
+                # Look for a replacement watch.  Ternary clauses (half the
+                # visits on BMC formulas) have exactly one candidate, so
+                # they skip the scan-loop setup entirely; longer clauses
+                # resume from the header's saved scan position and wrap,
+                # so a falsified prefix is not re-read on every visit.
+                size = arena[offset]
+                if size == 3:
+                    lit_k = arena[base + 2]
+                    if litval[lit_k] != 0:
+                        arena[base + 1] = lit_k
+                        arena[base + 2] = false_lit
+                        wblocks[lit_k].append(first)
+                        wrefs[lit_k].append(offset)
+                        hole = i
+                        break  # watcher moved away: enter phase 2
+                else:
+                    end = base + size
+                    start = base + arena[offset + 4]
+                    k = start
+                    replaced = False
+                    while k < end:
+                        lit_k = arena[k]
+                        if litval[lit_k] != 0:
+                            arena[base + 1] = lit_k
+                            arena[k] = false_lit
+                            arena[offset + 4] = k - base
+                            wblocks[lit_k].append(first)
+                            wrefs[lit_k].append(offset)
                             replaced = True
                             break
-                    elif assign[-lit_k] != 1:
-                        clause[1] = lit_k
-                        clause[k] = false_lit
-                        other_list = watches[-2 * lit_k + 1]
-                        other_list.append(clause_index)
-                        other_list.append(first)
-                        replaced = True
-                        break
-                if replaced:
-                    continue
-                # Clause is unit or conflicting.
-                watch_list[keep] = clause_index
-                watch_list[keep + 1] = first
-                keep += 2
-                if first_value == 1 - first_true:
-                    # Conflict: keep the remaining watches and bail out.
-                    while i < n:
-                        watch_list[keep] = watch_list[i]
-                        watch_list[keep + 1] = watch_list[i + 1]
-                        keep += 2
-                        i += 2
-                    conflict = clause_index
+                        k += 1
+                    if not replaced:
+                        k = base + 2
+                        while k < start:
+                            lit_k = arena[k]
+                            if litval[lit_k] != 0:
+                                arena[base + 1] = lit_k
+                                arena[k] = false_lit
+                                arena[offset + 4] = k - base
+                                wblocks[lit_k].append(first)
+                                wrefs[lit_k].append(offset)
+                                replaced = True
+                                break
+                            k += 1
+                    if replaced:
+                        hole = i
+                        break  # watcher moved away: enter phase 2
+                # Clause is unit or conflicting; the watcher stays put.
+                blockers[i] = first
+                if first_value == 0:
+                    conflict = offset
                     break
-                # Inlined _enqueue(first, clause_index).
-                variable = first if first > 0 else -first
-                assign[variable] = first_true
-                level_of[variable] = len(trail_lim)
-                reason[variable] = clause_index
-                phase[variable] = first > 0
+                # Inlined _enqueue(first, offset).
+                variable = first >> 1
+                litval[first] = 1
+                litval[first ^ 1] = 0
+                level_of[variable] = level
+                reason[variable] = offset
+                phase[variable] = not first & 1
                 trail.append(first)
-            if keep != n:
-                del watch_list[keep:]
+                trail_len += 1
             if conflict != -1:
-                self.stats.propagations += propagations
-                return conflict
-        self.stats.propagations += propagations
-        return -1
+                break
+            if hole < 0:
+                continue
+            # Long clauses, phase 2: compact in place over the hole(s).
+            keep = hole
+            i = hole + 1
+            n = len(blockers)
+            while i < n:
+                blocker = blockers[i]
+                if litval[blocker] == 1:
+                    blockers[keep] = blocker
+                    refs[keep] = refs[i]
+                    keep += 1
+                    i += 1
+                    continue
+                offset = refs[i]
+                base = offset + 5
+                first = arena[base]
+                if first == false_lit:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = false_lit
+                first_value = litval[first]
+                if first_value == 1:
+                    blockers[keep] = first
+                    refs[keep] = offset
+                    keep += 1
+                    i += 1
+                    continue
+                size = arena[offset]
+                if size == 3:
+                    lit_k = arena[base + 2]
+                    if litval[lit_k] != 0:
+                        arena[base + 1] = lit_k
+                        arena[base + 2] = false_lit
+                        wblocks[lit_k].append(first)
+                        wrefs[lit_k].append(offset)
+                        i += 1
+                        continue
+                else:
+                    end = base + size
+                    start = base + arena[offset + 4]
+                    k = start
+                    replaced = False
+                    while k < end:
+                        lit_k = arena[k]
+                        if litval[lit_k] != 0:
+                            arena[base + 1] = lit_k
+                            arena[k] = false_lit
+                            arena[offset + 4] = k - base
+                            wblocks[lit_k].append(first)
+                            wrefs[lit_k].append(offset)
+                            replaced = True
+                            break
+                        k += 1
+                    if not replaced:
+                        k = base + 2
+                        while k < start:
+                            lit_k = arena[k]
+                            if litval[lit_k] != 0:
+                                arena[base + 1] = lit_k
+                                arena[k] = false_lit
+                                arena[offset + 4] = k - base
+                                wblocks[lit_k].append(first)
+                                wrefs[lit_k].append(offset)
+                                replaced = True
+                                break
+                            k += 1
+                    if replaced:
+                        i += 1
+                        continue
+                blockers[keep] = first
+                refs[keep] = offset
+                keep += 1
+                i += 1
+                if first_value == 0:
+                    # Conflict: keep the remaining watchers and bail out.
+                    while i < n:
+                        blockers[keep] = blockers[i]
+                        refs[keep] = refs[i]
+                        keep += 1
+                        i += 1
+                    conflict = offset
+                    break
+                variable = first >> 1
+                litval[first] = 1
+                litval[first ^ 1] = 0
+                level_of[variable] = level
+                reason[variable] = offset
+                phase[variable] = not first & 1
+                trail.append(first)
+                trail_len += 1
+            del blockers[keep:]
+            del refs[keep:]
+            if conflict != -1:
+                break
+        self._qhead = qhead
+        self.stats.propagations += qhead - entry_qhead
+        return conflict
 
     # ------------------------------------------------------------------
     # Conflict analysis
     # ------------------------------------------------------------------
-    def _bump_var(self, variable: int) -> None:
-        activity = self._activity[variable] + self._var_bump
-        self._activity[variable] = activity
-        if activity > 1e100:
-            for v in range(1, self._num_vars + 1):
-                self._activity[v] *= 1e-100
-            self._var_bump *= 1e-100
-            self._order_heap = [
-                (-self._activity[v], v)
-                for v in range(1, self._num_vars + 1)
-                if self._assign[v] == _UNASSIGNED
-            ]
-            heapq.heapify(self._order_heap)
-            self._heap_entries = [0] * (self._num_vars + 1)
-            for _, v in self._order_heap:
-                self._heap_entries[v] = 1
-        else:
-            # Always push on a bump: the new entry carries the raised
-            # priority (a lazy decrease-key).  Deferring pushes for assigned
-            # variables measures *worse* -- the decision order drifts from
-            # true VSIDS and conflict counts blow up.
-            self._heap_entries[variable] += 1
-            heapq.heappush(self._order_heap, (-activity, variable))
+    def _rescale_var_activity(self) -> None:
+        """Scale all variable activities down and rebuild the order heap."""
+        litval = self._litval
+        for v in range(1, self._num_vars + 1):
+            self._activity[v] *= 1e-100
+        self._var_bump *= 1e-100
+        self._order_heap = [
+            (-self._activity[v], v)
+            for v in range(1, self._num_vars + 1)
+            if litval[v + v] == -1
+        ]
+        heapq.heapify(self._order_heap)
+        self._heap_entries = [0] * (self._num_vars + 1)
+        for _, v in self._order_heap:
+            self._heap_entries[v] = 1
 
-    def _bump_clause(self, clause_index: int) -> None:
-        self._clause_activity[clause_index] += self._clause_bump
-        if self._clause_activity[clause_index] > 1e20:
-            for idx in range(len(self._clause_activity)):
-                self._clause_activity[idx] *= 1e-20
-            self._clause_bump *= 1e-20
+    def _rescale_clause_activity(self) -> None:
+        """Scale all clause activities down (keeps the float slots finite)."""
+        act = self._act
+        for slot in range(len(act)):
+            act[slot] *= 1e-20
+        self._clause_bump *= 1e-20
 
-    def _analyse(self, conflict_index: int) -> tuple[List[Literal], int]:
+    def _analyse(self, conflict_offset: int) -> tuple[List[int], int]:
         """First-UIP analysis.
 
-        Returns the learned clause (asserting literal first) and the backjump
-        level.
+        Returns the learned clause (encoded literals, asserting literal
+        first) and the backjump level.
         """
-        learned: List[Literal] = []
+        learned: List[int] = []
         seen = self._seen
         level_of = self._level
         trail = self._trail
+        arena = self._arena
+        reason_of = self._reason
+        act = self._act
+        var_act = self._activity
+        var_bump = self._var_bump
+        order_heap = self._order_heap
+        heap_entries = self._heap_entries
+        heappush = heapq.heappush
+        clause_bump = self._clause_bump
         touched: List[int] = []
         counter = 0
-        literal: Optional[Literal] = None
-        clause_index = conflict_index
+        #: The implied literal of the reason clause being expanded; -1 while
+        #: expanding the conflict clause (no literal to skip -- encoded
+        #: literals are always >= 2).  Binary clauses keep their slot order
+        #: during propagation, so the implied literal is skipped by value
+        #: rather than by position.
+        literal = -1
+        offset = conflict_offset
         trail_index = len(trail) - 1
-        current_level = self._decision_level()
+        current_level = len(self._trail_lim)
 
         while True:
-            self._bump_clause(clause_index)
-            clause = self._clauses[clause_index]
-            for k in range(0 if literal is None else 1, len(clause)):
-                lit = clause[k]
-                variable = lit if lit > 0 else -lit
+            # Inlined clause-activity bump (rescale is rare).
+            slot = arena[offset + 3]
+            bumped = act[slot] + clause_bump
+            act[slot] = bumped
+            if bumped > 1e20:
+                self._rescale_clause_activity()
+                clause_bump = self._clause_bump
+            base = offset + 5
+            # Slice-iterate the clause body: one C-level copy beats a
+            # range+index loop's two Python ops per literal.
+            for lit in arena[base : base + arena[offset]]:
+                if lit == literal:
+                    continue  # the reason clause's implied literal
+                variable = lit >> 1
                 if seen[variable] or level_of[variable] == 0:
                     continue
-                seen[variable] = True
+                seen[variable] = 1
                 touched.append(variable)
-                self._bump_var(variable)
+                # Inlined _bump_var(variable).
+                activity = var_act[variable] + var_bump
+                var_act[variable] = activity
+                if activity > 1e100:
+                    self._rescale_var_activity()
+                    var_bump = self._var_bump
+                    order_heap = self._order_heap
+                    heap_entries = self._heap_entries
+                else:
+                    # Always push on a bump: the new entry carries the
+                    # raised priority (a lazy decrease-key).  Deferring
+                    # pushes for assigned variables measures *worse* -- the
+                    # decision order drifts from true VSIDS and conflict
+                    # counts blow up.
+                    heap_entries[variable] += 1
+                    heappush(order_heap, (-activity, variable))
                 if level_of[variable] == current_level:
                     counter += 1
                 else:
                     learned.append(lit)
             # Walk the trail backwards to the next marked literal.
             lit = trail[trail_index]
-            while not seen[lit if lit > 0 else -lit]:
+            while not seen[lit >> 1]:
                 trail_index -= 1
                 lit = trail[trail_index]
             literal = lit
-            variable = lit if lit > 0 else -lit
-            seen[variable] = False
+            variable = lit >> 1
+            seen[variable] = 0
             counter -= 1
             trail_index -= 1
             if counter == 0:
                 break
-            clause_index = self._reason[variable]
-        assert literal is not None
-        learned.insert(0, -literal)
+            offset = reason_of[variable]
+        learned.insert(0, literal ^ 1)
         # Conflict-clause minimisation: drop literals whose reason chains are
         # subsumed by the rest of the clause (and level-0 facts).  ``seen`` is
         # still marked for every learned-tail variable, which the redundancy
         # walk uses as its "in clause" test.
         if len(learned) > 1:
+            # Levels represented in the learned tail: a redundancy walk can
+            # only be intercepted at these levels (or level 0), so any
+            # antecedent at another level refutes the candidate immediately.
+            levels = {level_of[lit >> 1] for lit in learned[1:]}
             kept = [learned[0]]
             for lit in learned[1:]:
-                variable = lit if lit > 0 else -lit
-                if self._reason[variable] < 0 or not self._lit_redundant(
-                    lit, touched
+                if reason_of[lit >> 1] < 0 or not self._lit_redundant(
+                    lit, touched, levels
                 ):
                     kept.append(lit)
             learned = kept
         for variable in touched:
-            seen[variable] = False
+            seen[variable] = 0
 
         if len(learned) == 1:
             backjump_level = 0
@@ -613,157 +892,269 @@ class CDCLSolver:
             # Move the literal with the highest level (other than slot 0)
             # into slot 1 so it is watched after backjumping.
             max_index = 1
+            max_level = level_of[learned[1] >> 1]
             for k in range(2, len(learned)):
-                if self._level[var_of(learned[k])] > self._level[
-                    var_of(learned[max_index])
-                ]:
+                lvl = level_of[learned[k] >> 1]
+                if lvl > max_level:
                     max_index = k
+                    max_level = lvl
             learned[1], learned[max_index] = learned[max_index], learned[1]
-            backjump_level = self._level[var_of(learned[1])]
+            backjump_level = max_level
         return learned, backjump_level
 
-    def _lit_redundant(self, literal: Literal, touched: List[int]) -> bool:
+    def _lit_redundant(
+        self, literal: int, touched: List[int], levels: set
+    ) -> bool:
         """Whether *literal* of a learned clause is implied by the others.
 
         Walks the implication graph from the literal's reason clause; the
         literal is redundant when every path bottoms out in a variable that
-        is already part of the clause (``seen``) or assigned at level 0.
-        Variables proven redundant stay marked in ``seen`` (appended to
-        *touched* for the caller's final cleanup), which caches the result
-        for the remaining candidates; marks added during a failed walk are
-        rolled back so they cannot mis-certify later candidates.
+        is already part of the clause (mark 1) or assigned at level 0.
+
+        The walk is a post-order DFS that caches an *exact* per-variable
+        verdict: a fully-explored variable is marked removable (2), and on
+        failure the failing variable plus every ancestor on the DFS stack
+        -- whose redundancy required it -- is marked poison (3).  Both
+        marks persist across the candidate walks of one conflict, so no
+        subgraph is ever walked twice per conflict; this is sound because
+        redundancy is a pure fixpoint over the (acyclic) implication graph
+        and the fixed clause-tail/level sets, independent of walk order --
+        unlike a single-bit ``seen``, which would have to roll failed walks
+        back (the MiniSat 2.2 formulation) and re-explore.
+
+        *levels* is the set of decision levels of the learned clause's tail
+        literals.  An antecedent at any other non-zero level can never be
+        intercepted -- following its same-level implication chain must reach
+        that level's decision, and no interceptor (clause literal or cached
+        redundancy) exists at a level outside the set -- so the walk fails
+        immediately instead of exploring to the decision.  The filter is
+        exact (same literals removed, just discovered cheaper), unlike the
+        32-bit abstraction MiniSat uses for the same purpose.
+
+        The implied literal of each reason clause needs no positional skip:
+        its variable is always already marked (that is why the clause was
+        expanded), so the walk filters it out by value.
         """
         seen = self._seen
         level_of = self._level
         reason_of = self._reason
-        clauses = self._clauses
-        stack = [literal]
-        first_new_mark = len(touched)
-        while stack:
-            lit = stack.pop()
-            variable = lit if lit > 0 else -lit
-            reason = reason_of[variable]
-            if reason < 0:
-                # Reached a decision or assumption: not redundant.
-                for v in touched[first_new_mark:]:
-                    seen[v] = False
-                del touched[first_new_mark:]
-                return False
-            clause = clauses[reason]
-            for k in range(1, len(clause)):
-                other = clause[k]
-                other_var = other if other > 0 else -other
-                if not seen[other_var] and level_of[other_var] > 0:
-                    seen[other_var] = True
-                    touched.append(other_var)
-                    stack.append(other)
+        arena = self._arena
+        reason = reason_of[literal >> 1]
+        # DFS frames live in three persistent parallel stacks (variable,
+        # next arena index, body end index) indexed by ``depth`` -- no
+        # per-node allocation, entries beyond the current depth are stale
+        # and always overwritten before being read.
+        vars_ = self._ccmin_vars
+        ks = self._ccmin_ks
+        ends = self._ccmin_ends
+        if vars_:
+            vars_[0] = literal >> 1
+            ks[0] = reason + _HDR
+            ends[0] = reason + _HDR + arena[reason]
+        else:
+            vars_.append(literal >> 1)
+            ks.append(reason + _HDR)
+            ends.append(reason + _HDR + arena[reason])
+        depth = 0
+        while depth >= 0:
+            k = ks[depth]
+            end = ends[depth]
+            descended = False
+            while k < end:
+                other = arena[k]
+                k += 1
+                other_var = other >> 1
+                mark = seen[other_var]
+                # 1 = in clause, 2 = cached removable, 4 = on this DFS
+                # stack (only ever met as a reason clause's own implied
+                # literal -- the graph is acyclic).
+                if (
+                    mark == 1
+                    or mark == 2
+                    or mark == 4
+                    or level_of[other_var] == 0
+                ):
+                    continue
+                if (
+                    mark == 3
+                    or level_of[other_var] not in levels
+                    or reason_of[other_var] < 0
+                ):
+                    # Definitive failure: the node is poison (cached or a
+                    # decision / un-interceptable level), and so is every
+                    # ancestor whose redundancy required it.
+                    if mark == 0:
+                        seen[other_var] = 3
+                        touched.append(other_var)
+                    for i in range(depth + 1):
+                        fr_var = vars_[i]
+                        if seen[fr_var] == 4:
+                            seen[fr_var] = 3
+                    return False
+                ks[depth] = k
+                seen[other_var] = 4
+                touched.append(other_var)
+                fr_reason = reason_of[other_var]
+                depth += 1
+                if depth == len(vars_):
+                    vars_.append(other_var)
+                    ks.append(fr_reason + _HDR)
+                    ends.append(fr_reason + _HDR + arena[fr_reason])
+                else:
+                    vars_[depth] = other_var
+                    ks[depth] = fr_reason + _HDR
+                    ends[depth] = fr_reason + _HDR + arena[fr_reason]
+                descended = True
+                break
+            if descended:
+                continue
+            # Every antecedent checked out: the node is proven removable.
+            fr_var = vars_[depth]
+            if seen[fr_var] == 4:
+                seen[fr_var] = 2
+            depth -= 1
         return True
 
     def _backjump(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
-        assign = self._assign
+        litval = self._litval
         reason = self._reason
         heap_entries = self._heap_entries
         heap = self._order_heap
         activity = self._activity
         heappush = heapq.heappush
-        for literal in reversed(self._trail[limit:]):
-            variable = literal if literal > 0 else -literal
-            assign[variable] = _UNASSIGNED
+        trail = self._trail
+        for index in range(len(trail) - 1, limit - 1, -1):
+            literal = trail[index]
+            variable = literal >> 1
+            litval[literal] = -1
+            litval[literal ^ 1] = -1
             reason[variable] = -1
             # Skip the push when a live heap entry already exists for the
             # variable; bumps always push priority-current entries.
             if heap_entries[variable] == 0:
                 heap_entries[variable] = 1
                 heappush(heap, (-activity[variable], variable))
-        del self._trail[limit:]
+        del trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
 
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
-    def _decide(self) -> Optional[Literal]:
+    def _decide(self) -> Optional[int]:
+        """Pick the next decision as an encoded literal (None = all set)."""
         # Pop the most active unassigned variable; stale heap entries (already
         # assigned or with outdated activity) are discarded lazily.
         heap = self._order_heap
         heap_entries = self._heap_entries
-        assign = self._assign
+        litval = self._litval
+        phase = self._phase
         heappop = heapq.heappop
         while heap:
             _, variable = heappop(heap)
             heap_entries[variable] -= 1
-            if assign[variable] == _UNASSIGNED:
-                return variable if self._phase[variable] else -variable
+            if litval[variable + variable] == -1:
+                encoded = variable + variable
+                return encoded if phase[variable] else encoded + 1
         # Heap exhausted: fall back to a linear scan to guarantee completeness.
         for variable in range(1, self._num_vars + 1):
-            if assign[variable] == _UNASSIGNED:
-                return variable if self._phase[variable] else -variable
+            if litval[variable + variable] == -1:
+                encoded = variable + variable
+                return encoded if phase[variable] else encoded + 1
         return None
 
     def _reduce_learned(self) -> None:
-        """Drop the worse half of the learned clauses (Glucose-style).
+        """Drop the worse half of the learned clauses (Glucose-style) and
+        compact the arena in place.
 
         Candidates are ranked by literal-block distance first (high LBD goes
         first) and activity second; "glue" clauses (LBD <= 2), binary clauses
         and clauses currently acting as a reason for an assignment are kept.
-        Removal is done by rebuilding the clause list and watch lists, which
-        is simple and fast enough at the problem sizes we generate.
+
+        Removal is a mark-and-compact garbage collection: condemned clauses
+        get their dead flag set, live clauses slide down over them in one
+        pass of block moves (activities re-slotted in lockstep), and the
+        watch lists and trail ``_reason`` offsets are remapped in one pass
+        each.  Watch-list order and clause order are preserved, so the
+        search after a reduction is deterministic.
         """
-        learned_indices = [
-            idx
-            for idx, learned in enumerate(self._clause_learned)
-            if learned
-        ]
-        if not learned_indices:
+        arena = self._arena
+        act = self._act
+        top = len(arena)
+        learned_offsets: List[int] = []
+        offset = 0
+        while offset < top:
+            if arena[offset + 1] & _F_LEARNED:
+                learned_offsets.append(offset)
+            offset += _HDR + arena[offset]
+        if not learned_offsets:
             return
-        locked = {
-            self._reason[var_of(lit)]
-            for lit in self._trail
-            if self._reason[var_of(lit)] >= 0
-        }
-        learned_indices.sort(
-            key=lambda idx: (-self._clause_lbd[idx], self._clause_activity[idx])
+        reason_of = self._reason
+        locked = set()
+        for lit in self._trail:
+            reason = reason_of[lit >> 1]
+            if reason >= 0:
+                locked.add(reason)
+        learned_offsets.sort(
+            key=lambda off: (-arena[off + 2], act[arena[off + 3]])
         )
         to_remove = set()
-        for idx in learned_indices[: len(learned_indices) // 2]:
-            if (
-                idx not in locked
-                and len(self._clauses[idx]) > 2
-                and self._clause_lbd[idx] > 2
-            ):
-                to_remove.add(idx)
+        for off in learned_offsets[: len(learned_offsets) // 2]:
+            if off not in locked and arena[off] > 2 and arena[off + 2] > 2:
+                to_remove.add(off)
         if not to_remove:
             return
+        for off in to_remove:
+            arena[off + 1] |= _F_DEAD
+        # Compact: live clauses slide down, activities re-slot in lockstep.
         remap: Dict[int, int] = {}
-        new_clauses: List[List[Literal]] = []
-        new_learned: List[bool] = []
-        new_activity: List[float] = []
-        new_lbd: List[int] = []
-        for idx, clause in enumerate(self._clauses):
-            if idx in to_remove:
+        new_act: List[float] = []
+        write = 0
+        read = 0
+        while read < top:
+            length = _HDR + arena[read]
+            if arena[read + 1] & _F_DEAD:
+                read += length
                 continue
-            remap[idx] = len(new_clauses)
-            new_clauses.append(clause)
-            new_learned.append(self._clause_learned[idx])
-            new_activity.append(self._clause_activity[idx])
-            new_lbd.append(self._clause_lbd[idx])
-        self._clauses = new_clauses
-        self._clause_learned = new_learned
-        self._clause_activity = new_activity
-        self._clause_lbd = new_lbd
-        self._num_learned_live = sum(1 for l in new_learned if l)
-        self._watches = [[] for _ in range(2 * (self._num_vars + 1))]
-        for idx, clause in enumerate(self._clauses):
-            if len(clause) >= 2:
-                self._watch(idx, clause[0], clause[1])
-                self._watch(idx, clause[1], clause[0])
-        for variable in range(1, self._num_vars + 1):
-            reason = self._reason[variable]
+            if write != read:
+                arena[write : write + length] = arena[read : read + length]
+            remap[read] = write
+            new_act.append(act[arena[write + 3]])
+            arena[write + 3] = len(new_act) - 1
+            write += length
+            read += length
+        del arena[write:]
+        self._act = new_act
+        self._num_learned_live -= len(to_remove)
+        # Remap the watch lists in place, dropping dead clauses' watchers.
+        remap_get = remap.get
+        for blockers, refs in zip(self._wblock, self._wref):
+            n = len(refs)
+            keep = 0
+            for i in range(n):
+                new_offset = remap_get(refs[i], -1)
+                if new_offset >= 0:
+                    blockers[keep] = blockers[i]
+                    refs[keep] = new_offset
+                    keep += 1
+            if keep != n:
+                del blockers[keep:]
+                del refs[keep:]
+        # Binary clauses are never condemned (the size > 2 guard above), so
+        # every implication-list offset has a remap entry; rewrite in place.
+        for refs in self._bin_ref:
+            for i in range(len(refs)):
+                refs[i] = remap[refs[i]]
+        # Remap the reasons of the (level-0) trail; locked clauses are never
+        # condemned, so every live reason has a remap entry.
+        for lit in self._trail:
+            variable = lit >> 1
+            reason = reason_of[variable]
             if reason >= 0:
-                self._reason[variable] = remap.get(reason, -1)
+                reason_of[variable] = remap[reason]
 
     # ------------------------------------------------------------------
     # Main loop
@@ -819,13 +1210,18 @@ class CDCLSolver:
         assumption_list = []
         for assumption in assumptions:
             self.ensure_num_vars(var_of(assumption))
-            assumption_list.append(assumption)
+            assumption_list.append(
+                assumption + assumption
+                if assumption > 0
+                else 1 - assumption - assumption
+            )
 
         conflict = self._propagate()
         if conflict != -1:
             self._trivially_unsat = True
             return SolverResult(SolverStatus.UNSAT, stats=self._call_stats(entry, 0))
 
+        litval = self._litval
         conflicts_until_restart = self._restart_base * _luby(1)
         restart_count = 1
         conflicts_since_restart = 0
@@ -844,7 +1240,7 @@ class CDCLSolver:
                         SolverStatus.UNKNOWN,
                         stats=self._call_stats(entry, call_max_level),
                     )
-                if self._decision_level() == 0:
+                if not self._trail_lim:
                     # Conflict independent of any decision or assumption:
                     # the clause database itself is unsatisfiable, now and
                     # for every future call.
@@ -856,20 +1252,24 @@ class CDCLSolver:
                 learned, backjump_level = self._analyse(conflict)
                 self._backjump(backjump_level)
                 if len(learned) == 1:
+                    unit = learned[0]
                     if self._export_max_lbd is not None:
-                        self._exported.append(list(learned))
-                    if self._lit_value(learned[0]) == 0:
+                        self._exported.append(
+                            [unit >> 1 if not unit & 1 else -(unit >> 1)]
+                        )
+                    value = litval[unit]
+                    if value == 0:
                         # Falsified at level 0: permanently UNSAT.
                         self._trivially_unsat = True
                         return SolverResult(
                             SolverStatus.UNSAT,
                             stats=self._call_stats(entry, call_max_level),
                         )
-                    if self._lit_value(learned[0]) == _UNASSIGNED:
-                        self._enqueue(learned[0], -1)
+                    if value == -1:
+                        self._enqueue(unit, -1)
                 else:
-                    index = self._add_learned_clause(learned)
-                    self._enqueue(learned[0], index)
+                    offset = self._add_learned_clause(learned)
+                    self._enqueue(learned[0], offset)
                 self._var_bump /= self._var_decay
                 self._clause_bump /= self._clause_decay
                 continue
@@ -891,20 +1291,20 @@ class CDCLSolver:
             # database scale with the original clause count).
             if (
                 self._num_learned_live > self._reduce_threshold
-                and self._decision_level() == 0
+                and not self._trail_lim
             ):
                 self._reduce_learned()
                 self._reduce_threshold += 1000
 
             # Apply pending assumptions as decisions.
-            pending_assumption = None
+            pending_assumption = -1
             assumption_falsified = False
             for assumption in assumption_list:
-                value = self._lit_value(assumption)
+                value = litval[assumption]
                 if value == 0:
                     assumption_falsified = True
                     break
-                if value == _UNASSIGNED:
+                if value == -1:
                     pending_assumption = assumption
                     break
             if assumption_falsified:
@@ -915,7 +1315,7 @@ class CDCLSolver:
                     SolverStatus.UNSAT,
                     stats=self._call_stats(entry, call_max_level),
                 )
-            if pending_assumption is not None:
+            if pending_assumption != -1:
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(pending_assumption, -1)
                 continue
@@ -924,8 +1324,8 @@ class CDCLSolver:
             if decision is None:
                 model = [False] * (self._num_vars + 1)
                 for variable in range(1, self._num_vars + 1):
-                    model[variable] = self._assign[variable] == 1
-                call_max_level = max(call_max_level, self._decision_level())
+                    model[variable] = litval[variable + variable] == 1
+                call_max_level = max(call_max_level, len(self._trail_lim))
                 return SolverResult(
                     SolverStatus.SAT,
                     model=model,
@@ -934,7 +1334,7 @@ class CDCLSolver:
 
             self.stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            call_max_level = max(call_max_level, self._decision_level())
+            call_max_level = max(call_max_level, len(self._trail_lim))
             self._enqueue(decision, -1)
 
 

@@ -1,0 +1,149 @@
+"""Regression tests against the committed ``BENCH_bmc.json`` baseline.
+
+The benchmark report is committed at the repo root so the perf trajectory
+is tracked across PRs; these tests pin the *deterministic* half of it.
+Verdicts, bounds reached, frames proven and counterexample lengths must
+match the committed numbers exactly -- a solver or engine change that
+moves any of them has changed observable behaviour (not just speed) and
+must regenerate the baseline deliberately.  Wall-clock fields are never
+compared here (that is ``scripts/bench_bmc.py --check``'s job, with a
+noise-tolerant factor).
+
+The sixteen-version sweep complements the sequential-vs-distributed
+regression in ``tests/dist/test_regression.py``: it pins the *absolute*
+EDDI-V verdict of every design version at the small tier-1 bound, so a
+false detection introduced by a solver rewrite fails even if both engines
+agree on it.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.qed import QEDMode, SymbolicQED
+from repro.uarch.versions import ALL_VERSIONS
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_bmc.json")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
+import bench_bmc  # noqa: E402  (the bench definitions are the fixture)
+
+#: Fields of a bench run summary that are fully deterministic for a given
+#: build (no wall clocks, no throughput ratios).
+DETERMINISTIC_FIELDS = (
+    "status",
+    "bound_reached",
+    "frames_proven",
+    "counterexample_cycles",
+)
+
+#: Absolute EDDI-V verdicts (found_violation, frames_proven) of every
+#: design version at the tier-1 bound -- all clean at bound 4; detections
+#: need deeper bounds (see the slow-marked detection suite).
+EXPECTED_BOUND4_EDDIV = {
+    "A.v3": (False, 4),
+    "A.v4": (False, 4),
+    "A.v5": (False, 4),
+    "A.v6": (False, 4),
+    "A.v7": (False, 4),
+    "A.v8": (False, 4),
+    "B.v2": (False, 4),
+    "B.v3": (False, 4),
+    "B.v4": (False, 4),
+    "B.v5": (False, 4),
+    "B.v6": (False, 4),
+    "C.v2": (False, 4),
+    "C.v3": (False, 4),
+    "C.v4": (False, 4),
+    "C.v5": (False, 4),
+    "C.v6": (False, 4),
+}
+
+
+def _baseline_runs():
+    with open(BASELINE_PATH, "r", encoding="utf-8") as stream:
+        report = json.load(stream)
+    return {run["name"]: run for run in report["runs"]}
+
+
+class TestCommittedBaseline:
+    def test_counter_runs_match_baseline(self):
+        baseline = _baseline_runs()
+        for run in bench_bmc.run_counter_bench(16):
+            old = baseline.get(run["name"])
+            assert old is not None, (
+                f"bench run {run['name']!r} missing from the committed "
+                f"baseline -- regenerate BENCH_bmc.json"
+            )
+            for field in DETERMINISTIC_FIELDS:
+                assert run[field] == old[field], (
+                    f"{run['name']}: {field} changed "
+                    f"{old[field]!r} -> {run[field]!r} vs the committed "
+                    f"baseline"
+                )
+
+    def test_baseline_records_throughput_metrics(self):
+        # The regenerated baseline must carry the gated throughput fields
+        # for every solver-driven run, with a sane denominator on the
+        # dense depth run (the one CI profiles).
+        baseline = _baseline_runs()
+        depth = baseline.get("depth/B.v6/eddiv_cf/budget3000")
+        assert depth is not None
+        assert depth["frames_proven"] >= 5
+        assert "solve_seconds" in depth
+        assert "propagations_per_second" in depth
+        assert depth["solve_seconds"] > 0
+        assert depth["propagations_per_second"] > 0
+
+
+class TestDetectionBaseline:
+    def test_eddiv_detection_replay_matches_baseline(self):
+        # The Table-2 detection workload (interaction bug in A.v3): the
+        # verdict, the bound it surfaces at and the *replayed*
+        # counterexample length must match the committed baseline.
+        baseline = _baseline_runs()["detection/A.v3/eddiv"]
+        harness = SymbolicQED(
+            "A.v3",
+            mode=QEDMode.EDDIV,
+            focus_opcodes=["LDI", "MOV", "INC", "ADD"],
+            tracked_registers=(0,),
+        )
+        result = harness.check(max_bound=8)
+        assert result.found_violation
+        assert baseline["status"] == "violation"
+        # Counterexample replay: the trace came back through the simulator
+        # and was interpreted as a QED failure by the harness.
+        assert result.counterexample is not None
+        assert (
+            result.counterexample.length_cycles
+            == baseline["counterexample_cycles"]
+        )
+        assert result.bmc_result.bound_reached == baseline["bound_reached"]
+        assert (
+            result.bmc_result.frames_proven == baseline["frames_proven"]
+        )
+
+
+class TestSixteenVersionVerdicts:
+    @pytest.mark.parametrize(
+        "version", ALL_VERSIONS, ids=[v.name for v in ALL_VERSIONS]
+    )
+    def test_bound4_eddiv_verdict_unchanged(self, version):
+        expected_violation, expected_frames = EXPECTED_BOUND4_EDDIV[
+            version.name
+        ]
+        harness = SymbolicQED(
+            version,
+            mode=QEDMode.EDDIV,
+            focus_opcodes=["LDI", "MOV", "INC", "ADD"],
+        )
+        result = harness.check(max_bound=4)
+        assert result.found_violation == expected_violation
+        assert result.bmc_result.frames_proven == expected_frames
+        if expected_violation:
+            assert result.counterexample is not None

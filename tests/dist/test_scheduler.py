@@ -62,6 +62,37 @@ class TestSequentialScheduler:
         for clause in SAT_CLAUSES:
             assert any((l > 0) == result.model[abs(l)] for l in clause)
 
+    def test_incremental_reuse_extends_previous_query(self):
+        # The inline solver persists across incremental queries: the second
+        # query appends clauses to the first's list and only the tail is
+        # fed, yet the verdict must match a from-scratch solve.
+        scheduler = WorkScheduler(SplitConfig(workers=1))
+        first = _query(SAT_CLAUSES, 3, ladder_cubes([1, 2]), incremental=True)
+        assert scheduler.solve(first).status is SolverStatus.SAT
+        grown = _query(
+            SAT_CLAUSES + [[-3]],  # forces UNSAT (1|2 forces 3)
+            3,
+            ladder_cubes([1, 2]),
+            incremental=True,
+        )
+        assert scheduler.solve(grown).status is SolverStatus.UNSAT
+
+    def test_non_incremental_query_invalidates_inline_solver_cache(self):
+        # Regression: a non-incremental query between two incremental ones
+        # must drop the cached solver.  Without the invalidation, the third
+        # query would reuse the solver built for the *first* formula (which
+        # contains [1]) and feed only its clause tail, answering UNSAT for
+        # the satisfiable formula [[-1], [-1]].
+        scheduler = WorkScheduler(SplitConfig(workers=1))
+        q1 = _query([[1]], 1, [Cube(literals=())], incremental=True)
+        assert scheduler.solve(q1).status is SolverStatus.SAT
+        q2 = _query([[-1]], 1, [Cube(literals=())], incremental=False)
+        assert scheduler.solve(q2).status is SolverStatus.SAT
+        q3 = _query([[-1], [-1]], 1, [Cube(literals=())], incremental=True)
+        result = scheduler.solve(q3)
+        assert result.status is SolverStatus.SAT
+        assert result.model is not None and result.model[1] is False
+
     def test_base_assumptions_apply_to_every_cube(self):
         # Assuming -3 refutes every cube: [1,2] forces 1 or 2, either of
         # which forces 3.  A cube ignoring the base assumption would answer

@@ -252,19 +252,19 @@ class TestBlockedClauseElimination:
                 )
 
 
-class TestLegacySimplifyShim:
-    def test_simplify_module_is_a_deprecated_shim(self):
-        import importlib
-        import warnings
+class TestLegacySimplifyRetired:
+    def test_simplify_module_is_gone(self):
+        # The deprecation shim of the old ``repro.sat.simplify`` module was
+        # removed after one PR cycle; ``simplify_cnf`` lives in (and is only
+        # importable from) ``repro.sat.preprocess`` / the package root.
+        import pytest
 
-        from repro.sat.preprocess import simplify_cnf as moved
+        with pytest.raises(ModuleNotFoundError):
+            import repro.sat.simplify  # noqa: F401
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            import repro.sat.simplify as shim
+    def test_simplify_cnf_exported_from_preprocess_and_package(self):
+        import repro.sat
+        from repro.sat.preprocess import SimplificationResult, simplify_cnf
 
-            shim = importlib.reload(shim)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert shim.simplify_cnf is moved
+        assert repro.sat.simplify_cnf is simplify_cnf
+        assert repro.sat.SimplificationResult is SimplificationResult
