@@ -502,6 +502,13 @@ class BoundedModelChecker:
     """Incremental-bound BMC over a single safety property."""
 
     def __init__(self, problem: BMCProblem) -> None:
+        # Fail fast on malformed netlists: a combinational cycle or
+        # undriven net would hang or garble unrolling/bit-blasting, which
+        # walk the expression graph expecting a well-formed DAG.  Raises
+        # DesignLintError carrying the full report.
+        from repro.analysis.netlist_lint import check_design
+
+        check_design(problem.design, prop=problem.prop.expr)
         self.problem = problem
         self._unroller = Unroller(
             problem.design, initial_state=problem.initial_state
@@ -842,7 +849,7 @@ class BoundedModelChecker:
             )
         return inputs
 
-    def _model_bits_value(self, model: List[bool], bits) -> int:
+    def _model_bits_value(self, model: List[bool], bits: Sequence[int]) -> int:
         """Decode a little-endian AIG literal vector under *model*."""
         aig = self._unroller.aig
         builder = self._builder

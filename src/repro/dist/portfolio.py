@@ -122,14 +122,18 @@ class PortfolioConfig:
 #: polarity, restart cadence, activity decay and preprocessing.  Order
 #: matters twice over -- the scheduler assigns ``DIVERSE_CONFIGS[i % n]`` to
 #: worker ``i`` (worker 0, and therefore every single-worker deterministic
-#: run, always gets the baseline), and a portfolio race launches them first
-#: to last.
+#: run, always gets the baseline; it must stay preprocess-free so the
+#: inline path can reuse its solver incrementally), and a portfolio race
+#: launches them first to last.  ``preprocessed`` sits at index 1 so the
+#: only personality running variable elimination + blocked-clause
+#: elimination is exercised by every fan-out of two or more workers, not
+#: just five-plus.
 DIVERSE_CONFIGS: Tuple[PortfolioConfig, ...] = (
     PortfolioConfig("baseline"),
+    PortfolioConfig("preprocessed", preprocess=True, blocked=True),
     PortfolioConfig("positive-phase", default_phase=True),
     PortfolioConfig("rapid-restart", restart_base=16),
     PortfolioConfig("slow-decay", var_decay=0.99),
-    PortfolioConfig("preprocessed", preprocess=True, blocked=True),
     PortfolioConfig("agile", var_decay=0.85, restart_base=32, default_phase=True),
 )
 

@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.netlist_lint import check_version_design
 from repro.dist.scheduler import SplitConfig
 from repro.isa.arch import ArchParams, TINY_PROFILE
 from repro.indverif.crs import CRSConfig, ConstrainedRandomSim
@@ -393,6 +394,11 @@ def detect_bug(
     config = config or CampaignConfig()
     bug = bug_by_id(bug_id)
     version = _version_with_bug(bug.bug_id)
+    # Structural lint before any harness is built: a malformed version
+    # netlist (forged cycle, undriven net) would hang elaboration-side
+    # hashing or unrolling.  Memoized per (version, arch), so repeated
+    # jobs over the same version pay it once per process.
+    check_version_design(version, config.arch)
     record = BugDetectionRecord(bug_id=bug.bug_id, version_name=version.name)
 
     _run_qed_feature(bug, version, config, record, on_bound)

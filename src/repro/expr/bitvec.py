@@ -44,11 +44,11 @@ class BV:
         object.__setattr__(self, "children", children)
         object.__setattr__(self, "_hash", None)
 
-    def __setattr__(self, name: str, value) -> None:  # pragma: no cover
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("BV nodes are immutable")
 
     # -- structural identity -------------------------------------------------
-    def _key(self) -> tuple:
+    def _key(self) -> Tuple[object, ...]:
         return (self.op, self.width, self.children)
 
     def __eq__(self, other: object) -> bool:
@@ -237,7 +237,7 @@ class BVConst(BV):
         super().__init__(width, ())
         object.__setattr__(self, "value", value & ((1 << width) - 1))
 
-    def _key(self) -> tuple:
+    def _key(self) -> Tuple[object, ...]:
         return (self.op, self.width, self.value)
 
     def __repr__(self) -> str:
@@ -261,7 +261,7 @@ class BVVar(BV):
         super().__init__(width, ())
         object.__setattr__(self, "name", name)
 
-    def _key(self) -> tuple:
+    def _key(self) -> Tuple[object, ...]:
         return (self.op, self.width, self.name)
 
     def __repr__(self) -> str:
@@ -422,7 +422,7 @@ class BVExtract(BV):
         object.__setattr__(self, "high", high)
         object.__setattr__(self, "low", low)
 
-    def _key(self) -> tuple:
+    def _key(self) -> Tuple[object, ...]:
         return (self.op, self.width, self.children, self.high, self.low)
 
 

@@ -6,7 +6,7 @@ cross-check the bit-blaster against integer semantics.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Callable, Dict, Mapping
 
 from repro.expr.bitvec import (
     BV,
@@ -60,7 +60,9 @@ def evaluate(expr: BV, env: Mapping[str, int], _cache: Dict[int, int] | None = N
     return walk(expr)
 
 
-def _evaluate_node(node: BV, env: Mapping[str, int], walk) -> int:
+def _evaluate_node(
+    node: BV, env: Mapping[str, int], walk: Callable[[BV], int]
+) -> int:
     mask = node.mask
     if isinstance(node, BVConst):
         return node.value

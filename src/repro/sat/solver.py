@@ -103,7 +103,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.sat.cnf import CNF, Literal, var_of
 
@@ -274,7 +274,7 @@ class CDCLSolver:
         self._activity: List[float] = [0.0]
         self._var_bump = 1.0
         self._phase: List[bool] = [default_phase]
-        self._order_heap: List[tuple] = []
+        self._order_heap: List[Tuple[float, int]] = []
         self._heap_entries: List[int] = [0]
         # Reusable scratch marks for conflict analysis and clause
         # minimisation: 0 = unseen, 1 = part of the conflict/learned tail,
@@ -548,6 +548,7 @@ class CDCLSolver:
         # (decisions happen between _propagate calls), so hoist it.
         level = len(self._trail_lim)
         conflict = -1
+        # hot-loop
         while qhead < trail_len:
             literal = trail[qhead]
             qhead += 1
@@ -903,7 +904,7 @@ class CDCLSolver:
         return learned, backjump_level
 
     def _lit_redundant(
-        self, literal: int, touched: List[int], levels: set
+        self, literal: int, touched: List[int], levels: Set[int]
     ) -> bool:
         """Whether *literal* of a learned clause is implied by the others.
 
@@ -956,6 +957,7 @@ class CDCLSolver:
             ks.append(reason + _HDR)
             ends.append(reason + _HDR + arena[reason])
         depth = 0
+        # hot-loop
         while depth >= 0:
             k = ks[depth]
             end = ends[depth]

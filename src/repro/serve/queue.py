@@ -129,7 +129,7 @@ def _init_worker(progress_queue) -> None:
     _PROGRESS_QUEUE = progress_queue
 
 
-def execute_job_spec(
+def execute_job_spec(  # fork-entry: dispatched via functools.partial
     spec_dict: Dict[str, object],
     job_id: str = "",
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
@@ -177,7 +177,7 @@ def execute_job_spec(
     }
 
 
-def _selftest_entry(
+def _selftest_entry(  # fork-entry: dispatched via functools.partial
     spec_dict: Dict[str, object],
     job_id: str = "",
     progress: Optional[Callable[[Dict[str, object]], None]] = None,

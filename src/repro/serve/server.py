@@ -41,11 +41,32 @@ import threading
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.analysis.findings import DesignLintError
 from repro.serve.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.serve.keys import JobSpec
 from repro.serve.queue import JobQueue, execute_job_spec
 
 __all__ = ["QEDServer", "LocalServer"]
+
+
+def _lint_spec_design(spec: JobSpec) -> None:
+    """Structural lint of the design version a job spec names.
+
+    Runs in the executor (design building is CPU work).  Raises
+    :class:`DesignLintError` on a malformed netlist and ``KeyError`` on an
+    unknown version name; memoized per (version, arch) in the lint layer,
+    so repeat submissions of a known-good version are free.  A spec that
+    arrives already resolved is not re-linted: its fingerprint was computed
+    by structurally hashing the elaborated design, which a malformed
+    netlist cannot survive.
+    """
+    if spec.fingerprint:
+        return
+    from repro.analysis.netlist_lint import check_version_design
+    from repro.uarch.versions import version_by_name
+
+    version = version_by_name(spec.version)
+    check_version_design(version, spec.campaign_config().arch)
 
 #: Hard request limits -- a malformed or hostile client exhausts these and
 #: gets a 4xx, not a wedged server.
@@ -261,9 +282,20 @@ class QEDServer:
             raise
         except (AttributeError, KeyError, TypeError, ValueError) as exc:
             raise _BadRequest(f"invalid job spec: {exc}")
+        # Structural lint BEFORE fingerprint resolution: resolving hashes
+        # the elaborated netlist, and a malformed design (e.g. a forged
+        # combinational cycle) would hang that walk.  A lint failure is a
+        # client error -- return the structured report, not a solve.
         # Fingerprint resolution may elaborate a netlist (~100 ms on a
-        # cold memo); do it off-loop so long-polls keep streaming.
+        # cold memo); both run off-loop so long-polls keep streaming.
         loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, _lint_spec_design, spec)
+        except DesignLintError as exc:
+            self.requests_rejected += 1
+            return 400, {"error": str(exc), "lint": exc.report.to_json_dict()}
+        except (KeyError, ValueError) as exc:
+            raise _BadRequest(f"invalid job spec: {exc}")
         try:
             spec = await loop.run_in_executor(None, spec.resolved)
         except (KeyError, ValueError) as exc:

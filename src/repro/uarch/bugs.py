@@ -49,6 +49,13 @@ class Bug:
     primary_feature: str
     detected_by_crs: bool
     trigger: str
+    #: fnmatch patterns of the netlist signals this bug's injection may
+    #: touch.  The bug-library sanity check
+    #: (:func:`repro.analysis.netlist_lint.lint_bug_library`) diffs each
+    #: buggy version against its clean base and fails when the diff strays
+    #: outside these patterns -- a bug that silently rewires unrelated
+    #: logic would corrupt the detection study it exists to calibrate.
+    signals: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("rtl", "spec"):
@@ -69,6 +76,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_EDDIV,
         detected_by_crs=True,
+        signals=('wb_enable', 'hist_wb_valid', 'regs*', 'safety_parity_reg'),
         trigger="two consecutive writes to the same register",
     ),
     Bug(
@@ -81,6 +89,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_EDDIV,
         detected_by_crs=True,
+        signals=('wb_value', 'flag_*', 'next_flag_*', 'regs*', 'safety_parity_reg'),
         trigger="register-register ALU instruction immediately after a load",
     ),
     Bug(
@@ -93,6 +102,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_EDDIV,
         detected_by_crs=True,
+        signals=('wb_value', 'flag_n', 'flag_z', 'next_flag_n', 'next_flag_z', 'regs*', 'safety_parity_reg'),
         trigger="two consecutive SUB instructions",
     ),
     Bug(
@@ -106,6 +116,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_EDDIV,
         detected_by_crs=True,
+        signals=('mem_rdata', 'wb_value', 'flag_n', 'flag_z', 'next_flag_n', 'next_flag_z', 'regs*', 'safety_parity_reg'),
         trigger="load immediately following a store to the same address",
     ),
     Bug(
@@ -119,6 +130,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_EDDIV,
         detected_by_crs=True,
+        signals=('wb_enable', 'hist_wb_valid', 'regs*', 'safety_parity_reg'),
         trigger="rd == rs1 instruction immediately after a store",
     ),
     # ----------------------------------------------------------------- QED-CF
@@ -133,6 +145,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_QED_CF,
         detected_by_crs=True,
+        signals=('pc', 'ex_valid', 'cf_taken'),
         trigger="BZ after a flag-setting write to an upper-half register",
     ),
     Bug(
@@ -145,6 +158,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_QED_CF,
         detected_by_crs=True,
+        signals=('pc', 'ex_valid', 'cf_taken'),
         trigger="BNZ with C=1 after a write to an upper-half register",
     ),
     Bug(
@@ -157,6 +171,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_QED_CF,
         detected_by_crs=True,
+        signals=('pc', 'cf_target'),
         trigger="JR with rs1 in the upper half of the register file",
     ),
     Bug(
@@ -169,6 +184,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_QED_CF,
         detected_by_crs=True,
+        signals=('pc', 'ex_valid', 'cf_taken'),
         trigger="BEQ with both sources in the upper half",
     ),
     # ------------------------------------------------------------ QED memory
@@ -182,6 +198,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_QED_MEM,
         detected_by_crs=True,
+        signals=('wb_value', 'flag_n', 'flag_z', 'next_flag_n', 'next_flag_z', 'regs*', 'safety_parity_reg'),
         trigger="LDIL immediately after a load",
     ),
     # -------------------------------------------------------------- Single-I
@@ -195,6 +212,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_SINGLE_I,
         detected_by_crs=True,
+        signals=('wb_value', 'flag_n', 'flag_z', 'next_flag_n', 'next_flag_z', 'regs*', 'safety_parity_reg'),
         trigger="SRA of a negative value",
     ),
     Bug(
@@ -209,6 +227,7 @@ BUGS: List[Bug] = [
         kind="spec",
         primary_feature=FEATURE_SINGLE_I,
         detected_by_crs=False,
+        signals=('flag_c', 'next_flag_c'),
         trigger="CMPI followed by a carry-dependent decision",
     ),
     Bug(
@@ -218,6 +237,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_SINGLE_I,
         detected_by_crs=True,
+        signals=('wb_value', 'flag_n', 'flag_z', 'next_flag_n', 'next_flag_z', 'regs*', 'safety_parity_reg'),
         trigger="ROR of an asymmetric bit pattern",
     ),
     Bug(
@@ -230,6 +250,7 @@ BUGS: List[Bug] = [
         kind="rtl",
         primary_feature=FEATURE_SINGLE_I,
         detected_by_crs=True,
+        signals=('wb_value', 'flag_n', 'flag_z', 'next_flag_n', 'next_flag_z', 'regs*', 'safety_parity_reg'),
         trigger="SATADD overflow",
     ),
 ]

@@ -219,13 +219,34 @@ class TestPortfolio:
             assert any((l > 0) == outcome.model[abs(l)] for l in clause)
 
     def test_unknown_only_when_every_config_exhausts(self):
+        # Preprocess-free personalities only: the default set's
+        # "preprocessed" entry refutes this tiny formula during variable
+        # elimination, before the conflict budget is ever consulted.
+        outcome = solve_portfolio(
+            [list(c) for c in UNSAT_CLAUSES],
+            4,
+            configs=[c for c in DIVERSE_CONFIGS if not c.preprocess],
+            workers=2,
+            max_conflicts=0,
+        )
+        assert outcome.status is SolverStatus.UNKNOWN
+
+    def test_preprocessed_personality_raced_at_two_workers(self):
+        # Regression for the default order: index 1 must be the (only)
+        # preprocessing personality so BCE/BVE run in every >=2-worker
+        # race, and index 0 must stay preprocess-free for the inline
+        # scheduler path's incremental solver reuse.
+        assert not DIVERSE_CONFIGS[0].preprocess
+        assert DIVERSE_CONFIGS[1].preprocess and DIVERSE_CONFIGS[1].blocked
         outcome = solve_portfolio(
             [list(c) for c in UNSAT_CLAUSES],
             4,
             workers=2,
             max_conflicts=0,
         )
-        assert outcome.status is SolverStatus.UNKNOWN
+        # The zero-budget race is decided by preprocessing alone.
+        assert outcome.status is SolverStatus.UNSAT
+        assert outcome.winner == "preprocessed"
 
     def test_scheduler_portfolio_strategy(self):
         query = _query(UNSAT_CLAUSES, 4, [Cube(())])
