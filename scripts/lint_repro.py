@@ -52,6 +52,10 @@ FORK_GLOBS = (
     "src/repro/dist/*.py",
     "src/repro/serve/*.py",
     "src/repro/eval/campaign.py",
+    # The chaos-harness fault injector fires inside forked workers (its
+    # crash/delay/mangle sites are called from fork entry points), so it
+    # is held to the same no-locks/no-asyncio reachability rule.
+    "src/repro/faults.py",
 )
 #: Packages held to ``mypy --strict`` (via mypy.ini per-module sections).
 TYPED_CORE = ("src/repro/sat", "src/repro/bmc", "src/repro/expr")

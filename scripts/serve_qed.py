@@ -25,8 +25,11 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
+import signal
 import sys
 import tempfile
+import threading
 import time
 from typing import List, Optional
 
@@ -67,21 +70,34 @@ def _client_for(args, *, workers: int):
 
 # ----------------------------------------------------------------------
 def cmd_serve(args) -> int:
+    state_path = os.path.join(args.cache_dir, "queue_state.json")
     server = LocalServer(
         host=args.host,
         port=args.port,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        state_path=state_path,
     )
+    # SIGTERM (systemd stop, `kill`, container shutdown) drains gracefully:
+    # running solves finish and are cached, queued work is persisted to
+    # queue_state.json, and the next start of this command resumes it.
+    stop_signal = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop_signal.set())
     url = server.start()
     print(f"serving on {url} (cache: {args.cache_dir}, workers: {args.workers})")
     print("POST /jobs | GET /jobs/<id>?wait= | GET /results/<key> | GET /stats")
     try:
-        while True:
-            time.sleep(3600)
+        while not stop_signal.wait(timeout=1.0):
+            pass
+        print("SIGTERM: draining (running solves finish, queue is persisted)")
+        state = server.drain()
+        print(
+            f"drained; {len(state.get('queued') or [])} queued job(s) "
+            f"persisted to {state_path}"
+        )
     except KeyboardInterrupt:
         print("shutting down")
-        server.stop()
+    server.stop()
     return 0
 
 

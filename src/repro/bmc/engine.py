@@ -79,6 +79,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bmc.property import Assumption, SafetyProperty
+from repro.deadline import Deadline
 from repro.bmc.trace import CounterexampleTrace, property_holds_at, replay_inputs
 from repro.bmc.unroller import SYMBOLIC, Unroller
 from repro.dist.cubes import (
@@ -263,6 +264,13 @@ class BMCResult:
     per_bound_stats: List[BoundStats] = field(default_factory=list)
     num_sat_variables: int = 0
     num_sat_clauses: int = 0
+    #: True when a wall-clock :class:`repro.deadline.Deadline` stopped the
+    #: bound loop before the schedule was exhausted.  The stopped bound is
+    #: still reported in :attr:`per_bound_stats` with ``verdict="unknown"``
+    #: (zero solver work), so downstream "all bounds definitive?" checks
+    #: (e.g. ``qed_definitive``) can never mistake a truncated run for a
+    #: completed proof.
+    deadline_expired: bool = False
 
     @property
     def found_violation(self) -> bool:
@@ -712,7 +720,11 @@ class BoundedModelChecker:
             self._elim_stack.extend(result.eliminated)
         return result.stats
 
-    def _assert_deferred_and_resolve(self, activation_var: int) -> SolverResult:
+    def _assert_deferred_and_resolve(
+        self,
+        activation_var: int,
+        deadline: Optional[Deadline] = None,
+    ) -> SolverResult:
         """Confirm a provisional SAT answer against the full environment.
 
         Deferred assumptions cannot influence the property cone, but they
@@ -729,6 +741,7 @@ class BoundedModelChecker:
         return solver.solve(
             assumptions=[activation_var],
             max_conflicts=self.problem.max_conflicts_per_query,
+            deadline=deadline,
         )
 
     def _build_split_query(
@@ -803,6 +816,7 @@ class BoundedModelChecker:
         activation_var: int,
         window_roots: Sequence[int],
         window_cone: Set[int],
+        deadline: Optional[Deadline] = None,
     ) -> DistResult:
         """Answer this bound's query via the cube-and-conquer scheduler."""
         query = self._build_split_query(
@@ -810,7 +824,7 @@ class BoundedModelChecker:
         )
         if self._dist_scheduler is None:
             self._dist_scheduler = WorkScheduler(self.problem.split)
-        result = self._dist_scheduler.solve(query)
+        result = self._dist_scheduler.solve(query, deadline=deadline)
         # The distributed path never feeds the in-process solver; advance
         # the slab cursors so the next bound's preprocessing still operates
         # on only its new clauses (with earlier variables frozen).
@@ -933,6 +947,7 @@ class BoundedModelChecker:
         self,
         *,
         on_bound: Optional[Callable[[BoundStats], None]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> BMCResult:
         """Execute the incremental-bound search.
 
@@ -941,11 +956,19 @@ class BoundedModelChecker:
         bounds and the violating bound).  The serving layer uses it to
         stream per-bound progress to HTTP clients while a long query runs;
         exceptions it raises propagate and abort the run.
+
+        ``deadline`` is a wall-clock budget: it is checked before each
+        bound and threaded into the solver (and distributed scheduler),
+        so expiry degrades the run to UNKNOWN at the current bound — it
+        never flips a verdict.  The stopped bound is reported as a
+        zero-work ``verdict="unknown"`` :class:`BoundStats` and the
+        result carries ``deadline_expired=True``.
         """
         problem = self.problem
         start_time = time.perf_counter()
         per_bound: List[float] = []
         per_bound_stats: List[BoundStats] = []
+        deadline_expired = False
 
         def emit(stats: BoundStats) -> None:
             per_bound_stats.append(stats)
@@ -953,6 +976,28 @@ class BoundedModelChecker:
                 on_bound(stats)
 
         for bound in problem.bounds():
+            if deadline is not None and deadline.expired():
+                # Out of wall clock before this bound's query: report it
+                # as explicitly unknown (zero solver work) so the bound
+                # schedule and the stats list never silently diverge --
+                # a truncated run must not look definitive downstream.
+                deadline_expired = True
+                emit(
+                    BoundStats(
+                        bound=bound,
+                        window_start=max(
+                            self._proven_frames, problem.prop.start_cycle
+                        ),
+                        runtime_seconds=0.0,
+                        verdict="unknown",
+                        learned_clauses_carried=(
+                            self._solver.num_learned_clauses
+                            if self._solver
+                            else 0
+                        ),
+                    )
+                )
+                break
             bound_start = time.perf_counter()
             vars_before = self._cnf.num_vars
             clauses_before = self._cnf.num_clauses
@@ -997,7 +1042,7 @@ class BoundedModelChecker:
             dist_stats: Optional[DistStats] = None
             if problem.split is not None:
                 result = self._solve_distributed(
-                    activation_var, window_roots, window_cone
+                    activation_var, window_roots, window_cone, deadline
                 )
                 dist_stats = result.stats
                 solve_results = [result]
@@ -1010,7 +1055,7 @@ class BoundedModelChecker:
                         self._builder.assert_literal(literal)
                     self._pending_assumptions = []
                     result = self._solve_distributed(
-                        activation_var, window_roots, window_cone
+                        activation_var, window_roots, window_cone, deadline
                     )
                     # Merge both dispatches into one DistStats and report
                     # only the merged result: DistStats sums its cube list,
@@ -1035,6 +1080,7 @@ class BoundedModelChecker:
                 result = solver.solve(
                     assumptions=[activation_var],
                     max_conflicts=problem.max_conflicts_per_query,
+                    deadline=deadline,
                 )
                 solve_seconds = time.perf_counter() - solve_start
                 solve_results = [result]
@@ -1044,7 +1090,9 @@ class BoundedModelChecker:
                     asserted += deferred
                     deferred = 0
                     resolve_start = time.perf_counter()
-                    result = self._assert_deferred_and_resolve(activation_var)
+                    result = self._assert_deferred_and_resolve(
+                        activation_var, deadline
+                    )
                     solve_seconds += time.perf_counter() - resolve_start
                     solve_results.append(result)
                 if result.is_unsat:
@@ -1097,15 +1145,33 @@ class BoundedModelChecker:
             # like UNSAT but without retiring the window, so the frames stay
             # unproven and ``frames_proven`` reflects only real proofs.
 
+        if (
+            not deadline_expired
+            and deadline is not None
+            and deadline.expired()
+            and per_bound_stats
+            and per_bound_stats[-1].verdict == "unknown"
+        ):
+            # The clock ran out *during* the final bound's query (the
+            # solver returned UNKNOWN at the deadline), so the loop-top
+            # check never saw it.
+            deadline_expired = True
+        if deadline_expired and per_bound_stats:
+            # Honest reach: the last bound whose query actually ran (the
+            # final stats entry is the zero-work expiry marker).
+            bound_reached = per_bound_stats[-1].bound
+        else:
+            bound_reached = problem.bounds()[-1]
         return BMCResult(
             status=BMCStatus.NO_VIOLATION_WITHIN_BOUND,
             property_name=problem.prop.name,
-            bound_reached=problem.bounds()[-1],
+            bound_reached=bound_reached,
             runtime_seconds=time.perf_counter() - start_time,
             per_bound_runtime=per_bound,
             per_bound_stats=per_bound_stats,
             num_sat_variables=self._cnf.num_vars,
             num_sat_clauses=self._cnf.num_clauses,
+            deadline_expired=deadline_expired,
         )
 
 

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
+from repro.deadline import Deadline
 from repro.sat.cnf import CNF, Literal, var_of
 from repro.sat.preprocess import PreprocessResult, preprocess
 from repro.sat.solver import CDCLSolver, SolverResult, SolverStatus
@@ -164,15 +165,19 @@ def _solve_one(
     assumptions: Sequence[Literal],
     frozen: AbstractSet[int],
     max_conflicts: Optional[int],
+    expires_at: Optional[float] = None,
 ) -> Tuple[SolverResult, Optional[PreprocessResult]]:
+    deadline = None if expires_at is None else Deadline(expires_at=expires_at)
     solver, reduction = config.build_solver(clauses, num_vars, frozen)
     result = solver.solve(
-        assumptions=list(assumptions), max_conflicts=max_conflicts
+        assumptions=list(assumptions),
+        max_conflicts=max_conflicts,
+        deadline=deadline,
     )
     return result, reduction
 
 
-def _race_worker(
+def _race_worker(  # fork-entry
     index: int,
     config: PortfolioConfig,
     clauses: Sequence[Sequence[Literal]],
@@ -181,10 +186,12 @@ def _race_worker(
     frozen: AbstractSet[int],
     max_conflicts: Optional[int],
     results: "multiprocessing.Queue",
+    expires_at: Optional[float] = None,
 ) -> None:
     """Process entry point: solve and report (top-level so it pickles)."""
     result, reduction = _solve_one(
-        config, clauses, num_vars, assumptions, frozen, max_conflicts
+        config, clauses, num_vars, assumptions, frozen, max_conflicts,
+        expires_at,
     )
     model = result.model
     if model is not None and reduction is not None:
@@ -212,6 +219,7 @@ def solve_portfolio(
     frozen: AbstractSet[int] = frozenset(),
     max_conflicts: Optional[int] = None,
     poll_seconds: float = 0.02,
+    deadline: Optional[Deadline] = None,
 ) -> PortfolioOutcome:
     """Race the first ``workers`` entries of *configs* on one query.
 
@@ -220,15 +228,19 @@ def solve_portfolio(
     ends UNKNOWN only when every configuration exhausted its budget.  With
     ``workers == 1`` the first configuration runs inline -- no processes, no
     scheduling nondeterminism -- which keeps single-worker runs
-    deterministic.
+    deterministic.  ``deadline`` bounds the race by wall clock: every
+    racer inherits the same absolute monotonic expiry and answers
+    UNKNOWN once it passes.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
     raced = list(configs[: max(1, min(workers, len(configs)))])
+    expires_at = None if deadline is None else deadline.expires_at
     start = time.perf_counter()
     if len(raced) == 1:
         result, reduction = _solve_one(
-            raced[0], clauses, num_vars, assumptions, frozen, max_conflicts
+            raced[0], clauses, num_vars, assumptions, frozen, max_conflicts,
+            expires_at,
         )
         model = result.model
         if model is not None and reduction is not None:
@@ -263,6 +275,7 @@ def solve_portfolio(
                 frozen,
                 max_conflicts,
                 results,
+                expires_at,
             ),
             daemon=True,
         )
@@ -312,6 +325,13 @@ def solve_portfolio(
                 process.terminate()
         for process in processes:
             process.join(timeout=2.0)
+        # Escalate: a racer that survives SIGTERM past the grace period
+        # (wedged in a C extension, masked signal) gets SIGKILL rather
+        # than leaking as a zombie holding its core.
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
         results.close()
     outcome.runtime_seconds = time.perf_counter() - start
     return outcome

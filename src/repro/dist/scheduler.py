@@ -56,6 +56,8 @@ from typing import (
     Tuple,
 )
 
+from repro import faults
+from repro.deadline import Deadline
 from repro.dist.cubes import Cube, split_cube
 from repro.dist.portfolio import (
     DIVERSE_CONFIGS,
@@ -66,6 +68,16 @@ from repro.sat.cnf import Literal, var_of
 from repro.sat.solver import SolverStats, SolverStatus
 
 _STRATEGIES = ("auto", "window", "lookahead", "portfolio")
+
+#: Crash-recovery policy of the parallel path.  Not ``SplitConfig`` knobs:
+#: the config's canonical dict feeds content-addressed cache keys, and a
+#: recovery policy must never change what a query *means*.
+#: A cube whose worker died this many times is re-split (the cube itself
+#: is suspected of tickling the crash) instead of re-enqueued verbatim.
+_CRASH_RESPLIT_AFTER = 2
+#: Replacement workers spawned per pool before the scheduler gives up and
+#: fails safe to UNKNOWN (a crash storm must not respawn forever).
+_MAX_RESPAWNS_FACTOR = 2
 
 
 @dataclass
@@ -327,20 +339,34 @@ class WorkScheduler:
         self._inline_clauses_fed = 0
 
     # ------------------------------------------------------------------
-    def solve(self, query: SplitQuery) -> DistResult:
+    def solve(
+        self,
+        query: SplitQuery,
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> DistResult:
+        """Answer *query*; ``deadline`` bounds it by wall clock.
+
+        Workers inherit the *remaining* budget per cube: the deadline is
+        an absolute monotonic instant, so forked children compare against
+        the same clock and stop their solve calls in place.  Expiry
+        merges to UNKNOWN, never to a flipped verdict.
+        """
         config = self.config
         start = time.perf_counter()
         if config.strategy == "portfolio":
-            result = self._solve_portfolio(query)
+            result = self._solve_portfolio(query, deadline)
         elif config.workers == 1:
-            result = self._solve_sequential(query)
+            result = self._solve_sequential(query, deadline)
         else:
-            result = self._solve_parallel(query)
+            result = self._solve_parallel(query, deadline)
         result.stats.wall_seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------
-    def _solve_portfolio(self, query: SplitQuery) -> DistResult:
+    def _solve_portfolio(
+        self, query: SplitQuery, deadline: Optional[Deadline] = None
+    ) -> DistResult:
         config = self.config
         outcome = solve_portfolio(
             query.clauses,
@@ -350,6 +376,7 @@ class WorkScheduler:
             workers=config.workers,
             frozen=query.frozen,
             max_conflicts=query.max_conflicts,
+            deadline=deadline,
         )
         stats = DistStats(
             workers=config.workers,
@@ -373,7 +400,9 @@ class WorkScheduler:
         )
 
     # ------------------------------------------------------------------
-    def _solve_sequential(self, query: SplitQuery) -> DistResult:
+    def _solve_sequential(
+        self, query: SplitQuery, deadline: Optional[Deadline] = None
+    ) -> DistResult:
         """Inline cube loop: one solver, deterministic order, no processes.
 
         Clause sharing is implicit -- every learned clause (not just the
@@ -391,6 +420,10 @@ class WorkScheduler:
         spent = 0
         unknown_final = 0
         while pending:
+            if deadline is not None and deadline.expired():
+                # Out of wall clock with cubes still open: the partition
+                # is incomplete, so the only sound merge is UNKNOWN.
+                return DistResult(SolverStatus.UNKNOWN, stats=stats)
             cube, unbudgeted = pending.popleft()
             budget = None if unbudgeted else config.cube_conflict_budget
             if query.max_conflicts is not None:
@@ -400,6 +433,7 @@ class WorkScheduler:
             result = solver.solve(
                 assumptions=query.assumptions + list(cube.literals),
                 max_conflicts=budget,
+                deadline=deadline,
             )
             spent += result.stats.conflicts
             record = CubeStats(
@@ -505,7 +539,9 @@ class WorkScheduler:
             budget = remaining if budget is None else min(budget, remaining)
         return budget
 
-    def _solve_parallel(self, query: SplitQuery) -> DistResult:
+    def _solve_parallel(
+        self, query: SplitQuery, deadline: Optional[Deadline] = None
+    ) -> DistResult:
         config = self.config
         context = multiprocessing.get_context(
             "fork"
@@ -515,13 +551,35 @@ class WorkScheduler:
         tasks: "multiprocessing.Queue" = context.Queue()
         results: "multiprocessing.Queue" = context.Queue()
         stop = context.Event()
+        expires_at = None if deadline is None else deadline.expires_at
+        # Multiset of cubes currently owned by the pool (queued or being
+        # solved), keyed by (literals, depth).  Crash recovery re-enqueues
+        # a dead worker's in-flight cube, and this bookkeeping is what
+        # makes the race benign: if the "lost" result was actually in the
+        # queue buffer, the duplicate completion later finds its key
+        # already closed and is ignored instead of double-closing
+        # ``outstanding`` (which would let the loop exit with an open
+        # cube and merge an unsound UNSAT).
+        open_cubes: Dict[Tuple[Tuple[Literal, ...], int], int] = {}
+
+        def put_task(
+            literals: Tuple[Literal, ...],
+            depth: int,
+            budget: Optional[int],
+            *,
+            new: bool,
+        ) -> None:
+            if new:
+                key = (literals, depth)
+                open_cubes[key] = open_cubes.get(key, 0) + 1
+            tasks.put((literals, depth, budget))
+
         for cube in query.cubes:
-            tasks.put(
-                (
-                    tuple(cube.literals),
-                    cube.depth,
-                    self._dispatch_budget(query, 0),
-                )
+            put_task(
+                tuple(cube.literals),
+                cube.depth,
+                self._dispatch_budget(query, 0),
+                new=True,
             )
         # Without a cube budget the cube count is fixed, so extra workers
         # would only build solvers to idle; with re-splitting enabled the
@@ -539,8 +597,19 @@ class WorkScheduler:
             if config.share_clauses and workers > 1
             else None
         )
-        processes = [
-            context.Process(
+
+        # Per-worker in-flight announcements travel over dedicated pipes,
+        # NOT the results queue: ``Connection.send`` is synchronous (no
+        # feeder thread), so a worker that is SIGKILLed right after
+        # announcing a cube cannot lose the announcement the way an
+        # ``mp.Queue.put`` buffered in the feeder thread can be lost.
+        announces: List["multiprocessing.connection.Connection"] = []
+        processes: List["multiprocessing.process.BaseProcess"] = []
+        inflight: List[Optional[Tuple[Tuple[Literal, ...], int, Optional[int]]]] = []
+
+        def spawn(worker_id: int) -> None:
+            recv_conn, send_conn = context.Pipe(False)
+            process = context.Process(
                 target=_pool_worker,
                 args=(
                     worker_id,
@@ -551,31 +620,128 @@ class WorkScheduler:
                     results,
                     inboxes,
                     stop,
+                    send_conn,
+                    expires_at,
                 ),
                 daemon=True,
             )
-            for worker_id in range(workers)
-        ]
-        for process in processes:
             process.start()
+            send_conn.close()
+            if worker_id < len(processes):
+                announces[worker_id].close()
+                announces[worker_id] = recv_conn
+                processes[worker_id] = process
+                inflight[worker_id] = None
+            else:
+                announces.append(recv_conn)
+                processes.append(process)
+                inflight.append(None)
+
+        for worker_id in range(workers):
+            spawn(worker_id)
 
         stats = DistStats(workers=workers, strategy=config.strategy)
         outstanding = len(query.cubes)
         spent = 0
         unknown_final = 0
+        respawns = 0
+        max_respawns = _MAX_RESPAWNS_FACTOR * workers
+        crash_counts: Dict[Tuple[Tuple[Literal, ...], int], int] = {}
         status = SolverStatus.UNSAT
         model: Optional[List[bool]] = None
+
+        def drain_announcements() -> None:
+            for worker_id, conn in enumerate(announces):
+                while True:
+                    try:
+                        if not conn.poll():
+                            break
+                        kind, payload = conn.recv()
+                    except (EOFError, OSError):
+                        break
+                    if kind == "taken":
+                        inflight[worker_id] = payload
+                    else:  # "done"
+                        inflight[worker_id] = None
+
+        def recover_dead_workers() -> bool:
+            """Re-enqueue lost cubes and respawn; False = give up."""
+            nonlocal respawns, outstanding
+            dead = [
+                worker_id
+                for worker_id, process in enumerate(processes)
+                if process.exitcode is not None
+            ]
+            if not dead:
+                return True
+            drain_announcements()
+            for worker_id in dead:
+                lost = inflight[worker_id]
+                inflight[worker_id] = None
+                if lost is not None:
+                    literals, depth, budget = lost
+                    key = (literals, depth)
+                    if open_cubes.get(key, 0) <= 0:
+                        # Its result actually made it out before the
+                        # crash; nothing to recover.
+                        lost = None
+                    else:
+                        crash_counts[key] = crash_counts.get(key, 0) + 1
+                if lost is not None:
+                    literals, depth, budget = lost
+                    key = (literals, depth)
+                    cube = Cube(literals, depth)
+                    variable = (
+                        _next_resplit_var(cube, query.resplit_vars)
+                        if crash_counts[key] >= _CRASH_RESPLIT_AFTER
+                        and depth < config.max_resplit_depth
+                        else None
+                    )
+                    if variable is not None:
+                        # The cube itself is suspected of provoking the
+                        # crash (two workers died on it): split it so the
+                        # children present different search spaces.
+                        open_cubes[key] -= 1
+                        left, right = split_cube(cube, variable)
+                        put_task(
+                            tuple(left.literals), left.depth, budget, new=True
+                        )
+                        put_task(
+                            tuple(right.literals), right.depth, budget, new=True
+                        )
+                        stats.resplits += 1
+                        outstanding += 1
+                    else:
+                        # Same open cube instance, back on the queue:
+                        # not ``new`` (its open_cubes slot is still held).
+                        put_task(literals, depth, budget, new=False)
+                if respawns >= max_respawns:
+                    return False
+                respawns += 1
+                spawn(worker_id)
+            return True
+
         try:
             while outstanding > 0:
+                if deadline is not None and deadline.expired():
+                    # Wall clock exhausted with cubes still open: stop
+                    # dispatching and merge to UNKNOWN (workers notice
+                    # the same absolute deadline inside their solve
+                    # calls and drain quickly).
+                    status = SolverStatus.UNKNOWN
+                    break
+                drain_announcements()
                 try:
                     message = results.get(timeout=0.1)
                 except queue_module.Empty:
                     # A worker only exits before `stop` if it crashed (OOM
-                    # kill, unhandled exception); its in-flight cube is lost
-                    # and `outstanding` would never drain, so fail safe to
-                    # UNKNOWN instead of hanging.  The result queue is empty
-                    # here, so no reported verdict is discarded.
-                    if any(p.exitcode is not None for p in processes):
+                    # kill, unhandled exception).  Its in-flight cube, if
+                    # any, was announced over the pipe: re-enqueue it (or
+                    # re-split it when this cube keeps killing workers)
+                    # and spawn a replacement, so verdicts stay
+                    # worker-crash-independent.  Only a crash *storm*
+                    # (respawn cap hit) fails safe to UNKNOWN.
+                    if not recover_dead_workers():
                         status = SolverStatus.UNKNOWN
                         break
                     continue
@@ -591,8 +757,18 @@ class WorkScheduler:
                     config_name,
                     runtime,
                 ) = message
+                literals = tuple(literals)
+                key = (literals, depth)
+                if verdict != "sat" and open_cubes.get(key, 0) <= 0:
+                    # Stale duplicate of a cube that was already closed
+                    # (its "lost" pre-crash result survived after all and
+                    # the recovery re-run also finished).  A SAT verdict
+                    # is still accepted -- a model is a model.
+                    continue
+                if open_cubes.get(key, 0) > 0:
+                    open_cubes[key] -= 1
                 record = CubeStats(
-                    literals=tuple(literals),
+                    literals=literals,
                     verdict=verdict,
                     depth=depth,
                     conflicts=work[0],
@@ -626,7 +802,7 @@ class WorkScheduler:
                     outstanding -= 1
                 else:
                     # UNKNOWN within budget: re-split or finish the cube.
-                    cube = Cube(tuple(literals), depth)
+                    cube = Cube(literals, depth)
                     variable = (
                         _next_resplit_var(cube, query.resplit_vars)
                         if depth < config.max_resplit_depth
@@ -635,17 +811,23 @@ class WorkScheduler:
                     if variable is not None:
                         left, right = split_cube(cube, variable)
                         child_budget = self._dispatch_budget(query, spent)
-                        tasks.put(
-                            (tuple(left.literals), left.depth, child_budget)
+                        put_task(
+                            tuple(left.literals),
+                            left.depth,
+                            child_budget,
+                            new=True,
                         )
-                        tasks.put(
-                            (tuple(right.literals), right.depth, child_budget)
+                        put_task(
+                            tuple(right.literals),
+                            right.depth,
+                            child_budget,
+                            new=True,
                         )
                         stats.resplits += 1
                         outstanding += 1
                     elif query.max_conflicts is None:
                         # Solve to completion (no budget).
-                        tasks.put((tuple(cube.literals), cube.depth, None))
+                        put_task(literals, depth, None, new=True)
                     else:
                         unknown_final += 1
                         outstanding -= 1
@@ -667,6 +849,14 @@ class WorkScheduler:
                     process.terminate()
             for process in processes:
                 process.join(timeout=2.0)
+            # Escalate: a worker wedged in uninterruptible state (or with
+            # SIGTERM masked by a C extension) must not leak past teardown.
+            for process in processes:
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+            for conn in announces:
+                conn.close()
             for q in [tasks, results] + (inboxes or []):
                 q.close()
                 q.cancel_join_thread()
@@ -675,7 +865,7 @@ class WorkScheduler:
         return DistResult(status=status, model=model, stats=stats)
 
 
-def _pool_worker(
+def _pool_worker(  # fork-entry
     worker_id: int,
     personality: PortfolioConfig,
     query: SplitQuery,
@@ -684,6 +874,8 @@ def _pool_worker(
     results: "multiprocessing.Queue",
     inboxes: Optional[List["multiprocessing.Queue"]],
     stop: "multiprocessing.synchronize.Event",
+    announce: Optional["multiprocessing.connection.Connection"] = None,
+    expires_at: Optional[float] = None,
 ) -> None:
     """Worker process: build one solver, then steal cubes until stopped.
 
@@ -694,7 +886,15 @@ def _pool_worker(
     worker drains only its own inbox, so it never re-imports its own
     exports and every peer sees every shared clause (unless a full inbox
     drops it).
+
+    ``announce`` is the crash-recovery pipe: the worker synchronously
+    announces each cube before solving it ("taken") and after reporting
+    it ("done"), so the scheduler knows exactly which cube died with a
+    killed worker.  ``expires_at`` is the inherited absolute monotonic
+    deadline (the fork shares the parent's clock), applied to every
+    solve call.
     """
+    deadline = None if expires_at is None else Deadline(expires_at=expires_at)
     solver, reduction = personality.build_solver(
         query.clauses, query.num_vars, query.frozen
     )
@@ -705,6 +905,15 @@ def _pool_worker(
             literals, depth, budget = tasks.get(timeout=0.05)
         except queue_module.Empty:
             continue
+        if announce is not None:
+            try:
+                announce.send(("taken", (literals, depth, budget)))
+            except (BrokenPipeError, OSError):
+                pass
+        # Chaos-harness injection point: a seeded "kill" here dies with
+        # the cube announced but unreported -- the exact window the
+        # scheduler's recovery path must cover.
+        faults.crash_point("dist.scheduler.cube")
         imported = 0
         if inboxes is not None:
             for _ in range(256):
@@ -718,6 +927,7 @@ def _pool_worker(
         result = solver.solve(
             assumptions=query.assumptions + list(literals),
             max_conflicts=budget,
+            deadline=deadline,
         )
         exported = 0
         if inboxes is not None:
@@ -755,3 +965,8 @@ def _pool_worker(
                 time.perf_counter() - cube_start,
             )
         )
+        if announce is not None:
+            try:
+                announce.send(("done", None))
+            except (BrokenPipeError, OSError):
+                pass

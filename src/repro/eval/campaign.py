@@ -24,13 +24,17 @@ one (modulo wall-clock fields).
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.analysis.netlist_lint import check_version_design
+from repro.deadline import Deadline
 from repro.dist.scheduler import SplitConfig
 from repro.isa.arch import ArchParams, TINY_PROFILE
 from repro.indverif.crs import CRSConfig, ConstrainedRandomSim
@@ -223,6 +227,10 @@ class BugDetectionRecord:
     #: "no violation" may still be upgraded by a bigger run -- the serving
     #: layer's cache exploits exactly that monotonicity).
     qed_definitive: bool = True
+    #: ``True`` when the submission's wall-clock deadline expired during
+    #: the run: the QED verdict is UNKNOWN-truncated and the industrial/
+    #: directed stages were skipped.  Always implies non-definitive.
+    deadline_expired: bool = False
     #: Serving-layer provenance: ``True`` when this record was answered
     #: from the content-addressed result cache instead of a fresh solve.
     served_from_cache: bool = False
@@ -321,6 +329,7 @@ def _run_qed_feature(
     config: CampaignConfig,
     record: BugDetectionRecord,
     on_bound: Optional[Callable] = None,
+    deadline: Optional[Deadline] = None,
 ) -> None:
     plan = FOCUS_SETS[bug.bug_id]
     mode = plan["mode"]
@@ -350,6 +359,7 @@ def _run_qed_feature(
         max_conflicts_per_query=config.max_conflicts_per_query,
         split=config.split,
         on_bound=on_bound,
+        deadline=deadline,
     )
     feature = {
         QEDMode.EDDIV: "eddiv",
@@ -381,6 +391,7 @@ def detect_bug(
     config: Optional[CampaignConfig] = None,
     *,
     on_bound: Optional[Callable] = None,
+    deadline: Optional[Deadline] = None,
 ) -> BugDetectionRecord:
     """Run every configured technique against one bug (a campaign *job*).
 
@@ -390,6 +401,13 @@ def detect_bug(
     per-bound progress hook forwarded to the BMC engine (see
     :meth:`repro.bmc.engine.BoundedModelChecker.run`); the serving layer
     uses it to stream progress while a job runs.
+
+    ``deadline`` is the job's wall-clock budget (the serving layer
+    forwards what is left of the submission's ``deadline_seconds``).  It
+    threads into the QED BMC run — expiry makes the verdict UNKNOWN and
+    the record non-definitive — and skips the industrial-flow and
+    directed-test stages when already expired, so the job terminates
+    promptly instead of running unbounded.
     """
     config = config or CampaignConfig()
     bug = bug_by_id(bug_id)
@@ -401,9 +419,21 @@ def detect_bug(
     check_version_design(version, config.arch)
     record = BugDetectionRecord(bug_id=bug.bug_id, version_name=version.name)
 
-    _run_qed_feature(bug, version, config, record, on_bound)
+    _run_qed_feature(bug, version, config, record, on_bound, deadline)
 
-    if config.run_industrial_flow:
+    expired = deadline is not None and deadline.expired()
+    if expired:
+        record.deadline_expired = True
+        # A record that *skipped requested stages* must never pass for a
+        # complete measurement: it is marked non-definitive so the result
+        # cache can monotonically upgrade it from a later full run.  When
+        # nothing below was requested, the QED engine's own verdict
+        # stands -- a violation found before expiry is definitive SAT,
+        # and ``_run_qed_feature`` already downgraded any truncated
+        # search to non-definitive.
+        if config.run_industrial_flow or config.run_directed_tests:
+            record.qed_definitive = False
+    if config.run_industrial_flow and not expired:
         crs = ConstrainedRandomSim(
             version, arch=config.arch, config=config.crs_config
         )
@@ -415,7 +445,7 @@ def detect_bug(
             if config.exhaustive or focus is None
             else list(focus)
         ).detected_bug
-    if config.run_directed_tests:
+    if config.run_directed_tests and not expired:
         suite = default_directed_suite(config.arch)
         results = suite.run_all(version, with_extension=version.with_extension)
         record.dst_detected = suite.detected_bug(results)
@@ -429,8 +459,90 @@ def _detect_bug_job(job: Tuple[str, CampaignConfig]) -> BugDetectionRecord:
     return detect_bug(bug_id, config)
 
 
+#: Format tag of the campaign journal's header line.
+JOURNAL_FORMAT = 1
+
+
+def _read_journal(
+    path: str, config: Optional[CampaignConfig] = None
+) -> Tuple[List[BugDetectionRecord], int]:
+    """Replay a journal; returns (records, byte length of the valid prefix).
+
+    A line only counts when its terminating newline made it to disk — a
+    crash mid-append leaves a torn tail (no newline, or undecodable
+    bytes), and replay stops there.  The returned offset is where a
+    resuming writer must truncate before appending, so a new record is
+    never concatenated onto torn bytes (which would lose *both* lines on
+    the next replay).
+    """
+    records: List[BugDetectionRecord] = []
+    if not os.path.exists(path):
+        return records, 0
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    valid_end = 0
+    header_seen = False
+    cursor = 0
+    # The final split element is whatever follows the last newline:
+    # b"" after a clean append, torn bytes after a crash.  Either way it
+    # is not a journal line.
+    for chunk in raw.split(b"\n")[:-1]:
+        line_end = cursor + len(chunk) + 1
+        text = chunk.decode("utf-8", errors="replace").strip()
+        cursor = line_end
+        if not text:
+            valid_end = line_end
+            continue
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            break
+        if not header_seen:
+            header_seen = True
+            if data.get("journal") != JOURNAL_FORMAT:
+                raise ValueError(f"not a campaign journal (header {data!r})")
+            if (
+                config is not None
+                and data.get("config") != config.to_json_dict()
+            ):
+                raise ValueError(
+                    "campaign journal was written under a different "
+                    "config; refusing to merge records across configs"
+                )
+            valid_end = line_end
+            continue
+        records.append(record_from_json_dict(data))
+        valid_end = line_end
+    return records, valid_end
+
+
+def load_campaign_journal(
+    path: str, config: Optional[CampaignConfig] = None
+) -> List[BugDetectionRecord]:
+    """Replay an append-only campaign journal into completed records.
+
+    The journal is one JSON object per line: a header
+    ``{"journal": 1, "config": <canonical config dict>}`` followed by one
+    :func:`record_to_json_dict` line per completed bug.  Replay stops at
+    the first torn line — a crash mid-append corrupts only the tail, and
+    everything before it is intact by construction (records are only
+    appended, never rewritten).  A missing file, or a file whose header
+    is torn, replays to no records.
+
+    When *config* is given, a journal whose header was written under a
+    *different* canonical config raises ``ValueError``: resuming a
+    campaign under changed knobs would merge records that measured
+    different things.
+    """
+    records, _ = _read_journal(path, config)
+    return records
+
+
 def run_campaign(
-    config: Optional[CampaignConfig] = None, *, workers: int = 1
+    config: Optional[CampaignConfig] = None,
+    *,
+    workers: int = 1,
+    journal_path: Optional[str] = None,
 ) -> CampaignResult:
     """Run the campaign and return the per-bug detection records.
 
@@ -438,6 +550,14 @@ def run_campaign(
     ``ProcessPoolExecutor``.  Records are merged back in bug-selection order
     (``pool.map`` preserves input order), so the result is deterministic and
     identical to a serial run apart from the wall-clock fields.
+
+    ``journal_path`` makes the campaign crash-safe: every completed
+    record is appended (and flushed) to the journal the moment it is
+    final, and a re-run against the same path *resumes* — bugs already
+    journaled are not re-solved, only the missing ones run, and the
+    merged result is identical (on every deterministic field) to an
+    uninterrupted run.  The journal header pins the canonical config;
+    resuming under a different config is refused.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
@@ -450,23 +570,75 @@ def run_campaign(
     campaign = CampaignResult()
     start = time.perf_counter()
 
-    if workers == 1 or len(selected_bugs) <= 1:
-        campaign.records = [
-            detect_bug(bug.bug_id, config) for bug in selected_bugs
-        ]
-    else:
-        # ``fork`` keeps the already-imported package (and sys.path) in the
-        # workers; the jobs are CPU-bound pure Python so processes, not
-        # threads, are required to use more than one core.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else methods[0]
-        )
-        jobs = [(bug.bug_id, config) for bug in selected_bugs]
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(jobs)), mp_context=context
-        ) as pool:
-            campaign.records = list(pool.map(_detect_bug_job, jobs))
+    done: Dict[str, BugDetectionRecord] = {}
+    journal = None
+    if journal_path is not None:
+        loaded, valid_end = _read_journal(journal_path, config)
+        for record in loaded:
+            done[record.bug_id] = record
+        if loaded:
+            journal = open(journal_path, "r+b")
+            # Drop any torn tail before appending: concatenating a fresh
+            # record onto torn bytes would lose both on the next replay.
+            journal.truncate(valid_end)
+            journal.seek(0, os.SEEK_END)
+        else:
+            # Fresh journal (or one whose header itself was torn):
+            # start over so the header is guaranteed intact.
+            journal = open(journal_path, "wb")
+            header = {
+                "journal": JOURNAL_FORMAT,
+                "config": config.to_json_dict(),
+            }
+            journal.write(json.dumps(header).encode("utf-8") + b"\n")
+            journal.flush()
+            os.fsync(journal.fileno())
 
+    def journal_record(record: BugDetectionRecord) -> None:
+        if journal is None:
+            return
+        payload = json.dumps(record_to_json_dict(record)).encode("utf-8")
+        # Chaos-harness write site: a seeded torn_write truncates the
+        # payload exactly as a crash mid-append would.
+        journal.write(faults.mangle_write("eval.campaign.journal", payload + b"\n"))
+        journal.flush()
+        os.fsync(journal.fileno())
+        # Chaos-harness injection point: a seeded kill right after the
+        # append is the worst-case SIGKILL mid-campaign — the record
+        # just journaled must survive, everything after must resume.
+        faults.crash_point("eval.campaign.record")
+
+    pending = [bug for bug in selected_bugs if bug.bug_id not in done]
+    try:
+        if workers == 1 or len(pending) <= 1:
+            for bug in pending:
+                record = detect_bug(bug.bug_id, config)
+                done[bug.bug_id] = record
+                journal_record(record)
+        else:
+            # ``fork`` keeps the already-imported package (and sys.path) in
+            # the workers; the jobs are CPU-bound pure Python so processes,
+            # not threads, are required to use more than one core.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            jobs = [(bug.bug_id, config) for bug in pending]
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(jobs)), mp_context=context
+            ) as pool:
+                # ``pool.map`` yields in submission order, so records are
+                # journaled in bug-selection order even when a later-
+                # submitted job finishes first.
+                for record in pool.map(_detect_bug_job, jobs):
+                    done[record.bug_id] = record
+                    journal_record(record)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    # Bug-selection order, resumed and fresh records interleaved exactly
+    # where an uninterrupted run would have put them.
+    campaign.records = [done[bug.bug_id] for bug in selected_bugs]
     campaign.wall_clock_seconds = time.perf_counter() - start
     return campaign

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bmc.engine import BMCProblem, BMCResult, BMCStatus, BoundedModelChecker
 from repro.bmc.property import SafetyProperty
+from repro.deadline import Deadline
 from repro.dist.scheduler import SplitConfig
 from repro.expr.bitvec import BVVar
 from repro.isa.arch import ArchParams, TINY_PROFILE
@@ -214,6 +215,7 @@ class SymbolicQED:
         max_conflicts_per_query: Optional[int] = None,
         split: Optional[SplitConfig] = None,
         on_bound: Optional[Callable] = None,
+        deadline: Optional[Deadline] = None,
     ) -> QEDCheckResult:
         """Run BMC from the QED-consistent start state up to *max_bound*.
 
@@ -239,6 +241,11 @@ class SymbolicQED:
         ``on_bound`` streams each bound's
         :class:`~repro.bmc.engine.BoundStats` to the caller as it is final
         (the serving layer's progress hook).
+
+        ``deadline`` forwards a wall-clock budget to the engine (and from
+        there into the solver and cube workers); an expired deadline
+        degrades the check to UNKNOWN at the current bound, never to a
+        wrong verdict (``bmc_result.deadline_expired`` records it).
         """
         if split is not None and not split.prefer_input_prefixes:
             split = replace(split, prefer_input_prefixes=("instr_in",))
@@ -254,7 +261,9 @@ class SymbolicQED:
             max_conflicts_per_query=max_conflicts_per_query,
             split=split,
         )
-        result = BoundedModelChecker(problem).run(on_bound=on_bound)
+        result = BoundedModelChecker(problem).run(
+            on_bound=on_bound, deadline=deadline
+        )
 
         counterexample: Optional[QEDCounterexample] = None
         if result.status is BMCStatus.VIOLATION and result.counterexample:

@@ -105,6 +105,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.deadline import Deadline
 from repro.sat.cnf import CNF, Literal, var_of
 
 _UNASSIGNED = -1
@@ -114,6 +115,13 @@ _UNASSIGNED = -1
 _HDR = 5
 _F_LEARNED = 1
 _F_DEAD = 2
+
+#: Conflicts/decisions between monotonic-clock reads when a wall-clock
+#: deadline is attached to a solve() call.  At ~240k props/s even very
+#: conflict-heavy searches take well under 100 ms per 256 conflicts, so
+#: deadline overshoot stays small while the common path pays only an
+#: integer decrement.
+_DEADLINE_STRIDE = 256
 
 
 class SolverStatus(Enum):
@@ -1189,6 +1197,7 @@ class CDCLSolver:
         assumptions: Iterable[Literal] = (),
         *,
         max_conflicts: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> SolverResult:
         """Solve the formula, optionally under *assumptions*.
 
@@ -1199,6 +1208,11 @@ class CDCLSolver:
         they are applied as decisions at the start of the search.
         ``max_conflicts`` bounds the effort of *this call*; when it is
         exhausted the result status is :attr:`SolverStatus.UNKNOWN`.
+        ``deadline`` bounds it by wall clock: the search polls the
+        monotonic clock every few hundred conflicts/decisions (and at
+        every restart) and returns :attr:`SolverStatus.UNKNOWN` once it
+        has passed — the search state stays valid for incremental reuse,
+        exactly as with an exhausted conflict budget.
         """
         entry = self._snapshot()
         call_max_level = 0
@@ -1208,6 +1222,10 @@ class CDCLSolver:
         self._backjump(0)
         if self._trivially_unsat:
             return SolverResult(SolverStatus.UNSAT, stats=self._call_stats(entry, 0))
+        if deadline is not None and deadline.expired():
+            return SolverResult(
+                SolverStatus.UNKNOWN, stats=self._call_stats(entry, 0)
+            )
 
         assumption_list = []
         for assumption in assumptions:
@@ -1227,6 +1245,11 @@ class CDCLSolver:
         conflicts_until_restart = self._restart_base * _luby(1)
         restart_count = 1
         conflicts_since_restart = 0
+        # Wall-clock polling cadence: one monotonic-clock read every
+        # DEADLINE_STRIDE conflicts or decisions.  The countdown keeps
+        # the common path to a single decrement + compare; the checks
+        # sit outside the `# hot-loop` propagate/analyse regions.
+        deadline_countdown = _DEADLINE_STRIDE
 
         while True:
             conflict = self._propagate()
@@ -1242,6 +1265,16 @@ class CDCLSolver:
                         SolverStatus.UNKNOWN,
                         stats=self._call_stats(entry, call_max_level),
                     )
+                if deadline is not None:
+                    deadline_countdown -= 1
+                    if deadline_countdown <= 0:
+                        deadline_countdown = _DEADLINE_STRIDE
+                        if deadline.expired():
+                            self._backjump(0)
+                            return SolverResult(
+                                SolverStatus.UNKNOWN,
+                                stats=self._call_stats(entry, call_max_level),
+                            )
                 if not self._trail_lim:
                     # Conflict independent of any decision or assumption:
                     # the clause database itself is unsatisfiable, now and
@@ -1285,6 +1318,11 @@ class CDCLSolver:
                     restart_count
                 )
                 self._backjump(0)
+                if deadline is not None and deadline.expired():
+                    return SolverResult(
+                        SolverStatus.UNKNOWN,
+                        stats=self._call_stats(entry, call_max_level),
+                    )
                 continue
 
             # Learned clause DB reduction: triggered by the adaptive
@@ -1338,6 +1376,19 @@ class CDCLSolver:
             self._trail_lim.append(len(self._trail))
             call_max_level = max(call_max_level, len(self._trail_lim))
             self._enqueue(decision, -1)
+            if deadline is not None:
+                # Conflict-free stretches (e.g. an easily satisfied
+                # instance with a huge variable count) never reach the
+                # conflict-side countdown, so poll on decisions too.
+                deadline_countdown -= 1
+                if deadline_countdown <= 0:
+                    deadline_countdown = _DEADLINE_STRIDE
+                    if deadline.expired():
+                        self._backjump(0)
+                        return SolverResult(
+                            SolverStatus.UNKNOWN,
+                            stats=self._call_stats(entry, call_max_level),
+                        )
 
 
 def solve(

@@ -13,35 +13,49 @@ Architecture
 ::
 
     client / CLI (repro.serve.client, scripts/serve_qed.py)
-        |  POST /jobs {bug_id | spec}        GET /jobs/<id>?wait= (long-poll,
-        v                                        streams per-bound BoundStats)
+        |  POST /jobs {bug_id | spec, deadline_seconds?}
+        |  GET /jobs/<id>?wait= (long-poll, streams per-bound BoundStats)
+        |  [transport error -> retry w/ capped exponential backoff; safe:
+        v   submissions are content-addressed, hence idempotent]
     +------------------ QEDServer (repro.serve.server) ------------------+
     |  stdlib asyncio HTTP: parse -> route; malformed input => 4xx on    |
     |  that connection only, the accept loop never dies                  |
+    |  GET /healthz: readiness (pool liveness, cache writability, queue  |
+    |  depth) -- 503 while pool rebuilds / cache read-only / draining    |
+    |  SIGTERM -> drain(): running solves finish, queued specs persist   |
+    |  to queue_state.json, restored on the next start                   |
     +---------------------------+-----------------------------------------+
                                 v
     +------------------ JobQueue (repro.serve.queue) ---------------------+
     |  JobSpec.resolved().cache_key()   (repro.serve.keys: canonical      |
-    |      version+fingerprint+mode+focus+bound+knobs -> SHA-256)         |
+    |      version+fingerprint+mode+focus+bound+knobs -> SHA-256;         |
+    |      deadlines/retries are NOT keyed -- submission, not semantics)  |
     |    |                                                                |
     |    |-- cache hit  -> DONE immediately (served_from_cache=True)      |
     |    |-- identical in-flight spec -> coalesce (N waiters, one solve)  |
+    |    |-- quarantined spec (kept killing workers) -> fail fast,        |
+    |    |       force=True clears                                        |
     |    '-- else: priority heap -> scheduler -> fork process pool        |
-    |              detect_bug(...) with on_bound streaming BoundStats     |
-    |              back through a shared mp queue; worker crash => FAILED |
-    |              and a fresh pool (never a hung job)                    |
+    |              detect_bug(...) with remaining deadline budget and     |
+    |              on_bound streaming BoundStats back through a shared    |
+    |              mp queue; worker crash => pool replaced + retry with   |
+    |              capped backoff, then quarantine (never a hung job);    |
+    |              deadline expiry => honest non-definitive UNKNOWN       |
     +---------------------------+-----------------------------------------+
                                 v
     +------------------ ResultCache (repro.serve.cache) ------------------+
     |  tier 1: in-memory LRU     tier 2: append-only JSON-lines log       |
     |  keys embed the design fingerprint (content, not version name)      |
-    |  monotone upgrades: UNKNOWN-at-budget may become definitive,        |
-    |  never the reverse -- including across restarts (log replay)        |
+    |  monotone upgrades: UNKNOWN-at-budget/-deadline may become          |
+    |  definitive, never the reverse -- including across restarts (log    |
+    |  replay); torn tails are healed at the next append                  |
     +----------------------------------------------------------------------+
 
 Deployment shapes: :class:`~repro.serve.server.LocalServer` runs the whole
 stack on a background thread in-process (tests, quickstart, CLI spawn
-mode); ``scripts/serve_qed.py serve`` runs it standalone.
+mode); ``scripts/serve_qed.py serve`` runs it standalone.  Fault tolerance
+is exercised by the seeded chaos harness (:mod:`repro.faults` driving
+``tests/chaos``).
 """
 
 from repro.serve.cache import CacheEntry, ResultCache
@@ -52,7 +66,13 @@ from repro.serve.client import (
     run_campaign_via_server,
 )
 from repro.serve.keys import JobSpec
-from repro.serve.queue import Job, JobQueue, JobState, execute_job_spec
+from repro.serve.queue import (
+    Job,
+    JobQueue,
+    JobState,
+    QueueDraining,
+    execute_job_spec,
+)
 from repro.serve.server import LocalServer, QEDServer
 
 __all__ = [
@@ -64,6 +84,7 @@ __all__ = [
     "JobView",
     "LocalServer",
     "QEDServer",
+    "QueueDraining",
     "ResultCache",
     "ServeClient",
     "ServeError",

@@ -28,6 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import faults
+
 #: Bump when the entry layout changes; old log lines are skipped on replay.
 ENTRY_FORMAT = 1
 
@@ -172,9 +174,25 @@ class ResultCache:
         if path is None:
             return None
         line = json.dumps(data, sort_keys=True) + "\n"
-        with open(path, "ab") as stream:
+        # Chaos-harness write site: a seeded torn_write truncates the
+        # payload mid-line (exactly what a crash between ``write`` and the
+        # page hitting disk produces) and a seeded duplicate appends the
+        # line twice -- the replay path must shrug both off.
+        payload = faults.mangle_write("serve.cache.append", line.encode("utf-8"))
+        mode = "r+b" if os.path.exists(path) else "wb"
+        with open(path, mode) as stream:
+            stream.seek(0, os.SEEK_END)
             offset = stream.tell()
-            stream.write(line.encode("utf-8"))
+            if offset:
+                # Heal a torn tail before appending: a previous crash mid-
+                # write can leave a line without its newline, and gluing
+                # this entry onto it would lose *both* on replay.  One
+                # seek+read per append buys crash-safety for the whole log.
+                stream.seek(offset - 1)
+                if stream.read(1) != b"\n":
+                    stream.write(b"\n")
+                    offset += 1
+            stream.write(payload)
         return offset
 
     def _append_log(self, entry: CacheEntry) -> None:
@@ -286,6 +304,22 @@ class ResultCache:
                 {"format": ENTRY_FORMAT, "tombstone": fingerprint}
             )
             return dropped
+
+    def writable(self) -> bool:
+        """Whether the persistence log can currently be appended to.
+
+        The ``GET /healthz`` readiness probe reports this: a cache whose
+        log directory lost write permission (full disk remount, volume
+        detach) silently degrades every solve to non-persisted, which an
+        operator wants surfaced *before* jobs start failing.  An
+        in-memory cache (``directory=None``) is always "writable".
+        """
+        if self.directory is None:
+            return True
+        path = self.log_path
+        assert path is not None
+        probe = path if os.path.exists(path) else self.directory
+        return os.access(probe, os.W_OK)
 
     def __len__(self) -> int:
         with self._lock:

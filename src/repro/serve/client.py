@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 from urllib.parse import urlencode, urlsplit
 
+from repro import faults
 from repro.eval.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -75,9 +76,26 @@ class JobView:
 
 
 class ServeClient:
-    """One verification-service endpoint, e.g. ``http://127.0.0.1:8123``."""
+    """One verification-service endpoint, e.g. ``http://127.0.0.1:8123``.
 
-    def __init__(self, base_url: str, *, timeout: float = 120.0) -> None:
+    Transport failures (connection refused/reset, a dropped socket) are
+    retried up to ``retries`` times with capped exponential backoff.  That
+    is safe for every call in the protocol: the server's endpoints are
+    idempotent by construction -- ``POST /jobs`` is content-addressed
+    (an identical resubmission coalesces onto the in-flight job or hits
+    the cache, it never starts a second solve) and the reads/cancels are
+    plain lookups.  An HTTP *response*, of any status, is authoritative
+    and never retried.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 120.0,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+    ) -> None:
         split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if split.scheme not in ("", "http"):
             raise ValueError(f"only http:// endpoints are supported: {base_url}")
@@ -86,9 +104,27 @@ class ServeClient:
         self.host = split.hostname
         self.port = split.port or 80
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     # ------------------------------------------------------------------
     def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Dict[str, object]:
+        last_error: Optional[ServeError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(min(self.retry_backoff * (2.0 ** (attempt - 1)), 2.0))
+            try:
+                return self._request_once(method, path, body)
+            except ServeError as exc:
+                if exc.status is not None:
+                    raise  # an HTTP answer is authoritative; don't retry
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _request_once(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> Dict[str, object]:
         connection = http.client.HTTPConnection(
@@ -98,6 +134,10 @@ class ServeClient:
             payload = None if body is None else json.dumps(body)
             headers = {"Content-Type": "application/json"} if payload else {}
             try:
+                # Chaos-harness transport site: a seeded ``reset`` raises
+                # ConnectionResetError here, exactly like a server that
+                # died mid-handshake -- exercised by the retry loop above.
+                faults.crash_point("serve.client.request")
                 connection.request(method, path, body=payload, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
@@ -137,17 +177,23 @@ class ServeClient:
         config: Optional[CampaignConfig] = None,
         priority: int = 0,
         force: bool = False,
+        deadline_seconds: Optional[float] = None,
     ) -> JobView:
         """Submit by full spec, or by ``bug_id`` (+ optional config).
 
         ``force`` asks the server to re-solve even on a cache hit (the
-        refresh path for non-definitive cached verdicts).
+        refresh path for non-definitive cached verdicts, and the operator
+        override that clears a quarantined spec).  ``deadline_seconds``
+        bounds the job by wall clock server-side; at expiry it completes
+        with a non-definitive UNKNOWN record instead of running on.
         """
         if (spec is None) == (bug_id is None):
             raise ValueError("pass exactly one of spec= or bug_id=")
         body: Dict[str, object] = {"priority": priority}
         if force:
             body["force"] = True
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
         if spec is not None:
             body["spec"] = spec.canonical_dict()
         else:

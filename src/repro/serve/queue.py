@@ -19,8 +19,23 @@ Lifecycle of a submission
    :class:`~repro.bmc.engine.BoundStats` stream back through a shared
    multiprocessing queue and land in :attr:`Job.progress` as they arrive.
 5. On completion the record is admitted to the result cache under monotone
-   upgrade semantics; on a worker crash the job ends ``FAILED`` (never
-   hung) and the broken pool is replaced before the next job runs.
+   upgrade semantics; on a worker crash the broken pool is replaced and the
+   job is **retried** with capped exponential backoff.  A spec that keeps
+   killing workers is quarantined (``force=True`` clears it); only then
+   does the job end ``FAILED`` (never hung).
+
+Fault tolerance
+===============
+
+* A submission may carry a wall-clock ``deadline_seconds`` budget.  The
+  deadline is *not* part of the cache key (it is a property of the
+  submission, not of the problem); a job whose deadline expires while
+  queued completes ``DONE`` with a synthetic non-definitive UNKNOWN record
+  that is **not** cached, and a running job hands its remaining budget to
+  the worker, which propagates it down to the solver.
+* :meth:`JobQueue.drain` is the graceful-shutdown path: stop dispatching,
+  let running solves finish, snapshot still-queued specs to a JSON-able
+  dict that :meth:`JobQueue.restore_state` resubmits after a restart.
 
 ``use_processes=False`` swaps the process pool for threads -- same contract,
 no fork -- which in-process demos (``examples/serve_quickstart.py``) use.
@@ -42,6 +57,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import faults
+from repro.deadline import Deadline
 from repro.eval.campaign import detect_bug, record_to_json_dict
 from repro.serve.cache import ResultCache
 from repro.serve.keys import JobSpec
@@ -50,8 +67,13 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobState",
+    "QueueDraining",
     "execute_job_spec",
 ]
+
+
+class QueueDraining(RuntimeError):
+    """Submission rejected: the queue is draining for shutdown (HTTP 503)."""
 
 
 class JobState(str, Enum):
@@ -82,6 +104,11 @@ class Job:
     coalesced: int = 0
     record: Optional[Dict[str, object]] = None
     error: Optional[str] = None
+    #: Wall-clock budget (absolute monotonic expiry).  NOT part of the
+    #: cache key: the deadline describes the submission, not the problem.
+    deadline: Optional[Deadline] = None
+    #: Executor dispatches so far; bumped on each worker-crash retry.
+    attempts: int = 0
     #: Per-bound progress events (:meth:`BoundStats.to_json_dict` dicts).
     progress: List[Dict[str, object]] = field(default_factory=list)
     #: Bumped on every observable change; long-poll waits for it to move.
@@ -108,6 +135,7 @@ class Job:
             "coalesced": self.coalesced,
             "record": self.record,
             "error": self.error,
+            "attempts": self.attempts,
             "progress": self.progress[since:],
             "progress_total": len(self.progress),
             "version": self.version,
@@ -133,6 +161,8 @@ def execute_job_spec(  # fork-entry: dispatched via functools.partial
     spec_dict: Dict[str, object],
     job_id: str = "",
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    *,
+    deadline_seconds: Optional[float] = None,
 ) -> Dict[str, object]:
     """Executor entry point: run one campaign job described by *spec_dict*.
 
@@ -141,9 +171,16 @@ def execute_job_spec(  # fork-entry: dispatched via functools.partial
     queue) or in a thread (``progress`` is a direct callback).  The design
     fingerprint is re-verified against the current content so a stale spec
     fails loudly instead of caching a result under the wrong key.
+
+    ``deadline_seconds`` is the budget *remaining* at dispatch time; it is
+    rebased onto this process's monotonic clock and propagated through
+    ``detect_bug`` into the BMC engine and the SAT solver, so an expiring
+    deadline degrades the verdict to a non-definitive UNKNOWN rather than
+    truncating it silently.
     """
     from repro.uarch.versions import version_by_name
 
+    faults.crash_point("serve.queue.worker")
     spec = JobSpec.from_dict(spec_dict)
     config = spec.campaign_config()
     spec.validate_derived()  # a lying spec must fail, not cache mislabeled
@@ -168,9 +205,22 @@ def execute_job_spec(  # fork-entry: dispatched via functools.partial
     on_bound = None
     if send is not None:
         def on_bound(stats) -> None:
+            # Chaos-harness message site: progress is best-effort, so a
+            # seeded drop must be invisible to the verdict and a seeded
+            # duplicate must be tolerated by consumers.
+            fate = faults.message_fate("serve.queue.progress")
+            if fate == "drop":
+                return
             send(stats.to_json_dict())
+            if fate == "duplicate":
+                send(stats.to_json_dict())
 
-    record = detect_bug(spec.bug_id, config, on_bound=on_bound)
+    record = detect_bug(
+        spec.bug_id,
+        config,
+        on_bound=on_bound,
+        deadline=Deadline.from_seconds(deadline_seconds),
+    )
     return {
         "record": record_to_json_dict(record),
         "definitive": record.qed_definitive,
@@ -181,6 +231,8 @@ def _selftest_entry(  # fork-entry: dispatched via functools.partial
     spec_dict: Dict[str, object],
     job_id: str = "",
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    *,
+    deadline_seconds: Optional[float] = None,
 ) -> Dict[str, object]:
     """Deterministic test double for :func:`execute_job_spec`.
 
@@ -188,8 +240,10 @@ def _selftest_entry(  # fork-entry: dispatched via functools.partial
     keyed on the (synthetic) ``bug_id``: ``__crash__`` kills the worker
     process outright (the ``FAILED``-not-hung regression hook),
     ``__sleep:S__`` holds the slot for ``S`` seconds (the coalescing hook);
-    anything else echoes a canned record.
+    anything else echoes a canned record.  A received ``deadline_seconds``
+    is echoed into the record so tests can assert budget propagation.
     """
+    faults.crash_point("serve.queue.worker")
     bug_id = str(spec_dict.get("bug_id", ""))
     if bug_id == "__crash__":
         os._exit(1)
@@ -202,16 +256,20 @@ def _selftest_entry(  # fork-entry: dispatched via functools.partial
             queue.put((job_id, stats_dict))
 
     if progress is not None:
-        progress({"bound": 1, "verdict": "unsat", "selftest": True})
-    return {
-        "record": {
-            "bug_id": bug_id,
-            "version_name": str(spec_dict.get("version", "X")),
-            "detected_by": {"eddiv": True},
-            "qed_definitive": True,
-        },
-        "definitive": True,
+        fate = faults.message_fate("serve.queue.progress")
+        if fate != "drop":
+            progress({"bound": 1, "verdict": "unsat", "selftest": True})
+            if fate == "duplicate":
+                progress({"bound": 1, "verdict": "unsat", "selftest": True})
+    record: Dict[str, object] = {
+        "bug_id": bug_id,
+        "version_name": str(spec_dict.get("version", "X")),
+        "detected_by": {"eddiv": True},
+        "qed_definitive": True,
     }
+    if deadline_seconds is not None:
+        record["deadline_seconds"] = deadline_seconds
+    return {"record": record, "definitive": True}
 
 
 # ----------------------------------------------------------------------
@@ -233,15 +291,26 @@ class JobQueue:
         entry: Callable = execute_job_spec,
         use_processes: bool = True,
         max_tracked_jobs: int = 4096,
+        max_retries: int = 2,
+        retry_backoff_base: float = 0.05,
+        retry_backoff_cap: float = 2.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if max_tracked_jobs < 1:
             raise ValueError("max_tracked_jobs must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be at least 0")
         self.cache = cache
         self.workers = workers
         self.entry = entry
         self.use_processes = use_processes
+        #: Worker-crash retry policy: a job whose worker dies is re-queued
+        #: up to ``max_retries`` times with capped exponential backoff
+        #: (``base * 2**(attempt-1)``, never above ``cap`` seconds).
+        self.max_retries = max_retries
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
         #: Terminal jobs beyond this count are evicted oldest-first, so a
         #: long-running server's registry stays bounded (results live on in
         #: the cache; only the per-job views age out).
@@ -259,6 +328,14 @@ class JobQueue:
         self._mp_context = None
         self._progress_queue = None
         self._drainer: Optional[threading.Thread] = None
+        #: Keys whose spec exhausted its crash retries; value is a
+        #: structured reason dict.  Resubmissions fail fast until an
+        #: operator clears the key with ``force=True``.
+        self.quarantined: Dict[str, Dict[str, object]] = {}
+        self._draining = False
+        #: True between a worker crash and the replacement pool's first
+        #: construction -- surfaced by ``GET /healthz`` as not-ready.
+        self._pool_broken = False
         # Counters for /stats.
         self.submitted = 0
         self.cache_hits = 0
@@ -266,6 +343,10 @@ class JobQueue:
         self.executed = 0
         self.failed = 0
         self.cancelled = 0
+        self.retried = 0
+        self.pool_rebuilds = 0
+        self.deadline_expired = 0
+        self.quarantine_rejections = 0
         self.queue_latency_total = 0.0
         self.queue_latency_jobs = 0
 
@@ -302,11 +383,22 @@ class JobQueue:
                 pass
         if self._drainer is not None:
             self._drainer.join(timeout=2.0)
+            if self._drainer.is_alive() and self._progress_queue is not None:
+                # Escalate: the sentinel can be lost if a worker wedged the
+                # queue's pipe.  Closing our read end makes the blocked
+                # ``get`` raise (EOFError/OSError), which the drainer
+                # treats as shutdown -- so rejoin once more.
+                try:
+                    self._progress_queue.close()
+                except Exception:
+                    pass
+                self._drainer.join(timeout=1.0)
             self._drainer = None
 
     # ------------------------------------------------------------------
     def _ensure_executor(self):
         if self._executor is None:
+            self._pool_broken = False
             if self.use_processes:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -372,7 +464,14 @@ class JobQueue:
         return f"job-{next(self._sequence):06d}"
 
     # ------------------------------------------------------------------
-    def submit(self, spec: JobSpec, *, priority: int = 0, force: bool = False) -> Job:
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        priority: int = 0,
+        force: bool = False,
+        deadline_seconds: Optional[float] = None,
+    ) -> Job:
         """Submit a job; returns immediately with its (possibly shared) Job.
 
         Cache hits come back ``DONE``; identical in-flight specs coalesce
@@ -381,7 +480,19 @@ class JobQueue:
         and re-solves (it still coalesces with an in-flight twin); the
         fresh result re-enters the cache under the monotone-upgrade rule,
         which is how a non-definitive cached verdict gets refreshed.
+        ``force`` also clears a quarantine on the key -- the operator's
+        explicit override of the poison-spec circuit breaker.
+
+        ``deadline_seconds`` bounds the job by wall clock.  It is not part
+        of the cache key; submitters that coalesce onto an in-flight job
+        inherit *its* budget (the first submitter's deadline stands).  A
+        deadline that expires while the job is still queued completes it
+        ``DONE`` with a synthetic, uncached UNKNOWN record.
         """
+        if self._draining:
+            raise QueueDraining(
+                "job queue is draining for shutdown; resubmit after restart"
+            )
         spec = spec.resolved()
         key = spec.cache_key()
         self.submitted += 1
@@ -411,6 +522,33 @@ class JobQueue:
                 self._retire(job)
                 return job
 
+        quarantine = self.quarantined.get(key)
+        if quarantine is not None:
+            if force:
+                del self.quarantined[key]  # operator override: try again
+            else:
+                self.quarantine_rejections += 1
+                now = time.time()
+                job = Job(
+                    job_id=self._new_job_id(),
+                    spec=spec,
+                    cache_key=key,
+                    priority=priority,
+                    state=JobState.FAILED,
+                    error=(
+                        f"quarantined ({quarantine.get('reason')} after "
+                        f"{quarantine.get('attempts')} attempts): "
+                        f"{quarantine.get('error')}; resubmit with force=true "
+                        f"to clear"
+                    ),
+                    submitted_at=now,
+                    finished_at=now,
+                    version=1,
+                )
+                self.jobs[job.job_id] = job
+                self._retire(job)
+                return job
+
         existing = self._inflight.get(key)
         if existing is not None:
             existing.coalesced += 1
@@ -429,6 +567,7 @@ class JobQueue:
             spec=spec,
             cache_key=key,
             priority=priority,
+            deadline=Deadline.from_seconds(deadline_seconds),
             submitted_at=time.time(),
         )
         self.jobs[job.job_id] = job
@@ -466,11 +605,18 @@ class JobQueue:
         while True:
             await self._wake.wait()
             self._wake.clear()
-            while self._heap and self._running < self.workers:
+            while (
+                self._heap
+                and self._running < self.workers
+                and not self._draining
+            ):
                 _, _, job_id = heapq.heappop(self._heap)
                 job = self.jobs.get(job_id)
                 if job is None or job.state is not JobState.QUEUED:
                     continue  # cancelled, or a stale re-priority entry
+                if job.deadline is not None and job.deadline.expired():
+                    self._expire_queued(job)
+                    continue
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
                 self.queue_latency_total += job.started_at - job.submitted_at
@@ -479,19 +625,51 @@ class JobQueue:
                 self._bump(job)
                 asyncio.create_task(self._run_job(job))
 
+    def _expire_queued(self, job: Job) -> None:
+        """Complete a queued job whose wall-clock budget ran out.
+
+        The verdict is an honest, zero-work UNKNOWN: ``DONE`` (the service
+        answered the question it was asked within the budget it was given),
+        non-definitive, ``deadline_expired`` marked -- and **not** cached,
+        so it can never shadow a real solve of the same key.
+        """
+        job.record = {
+            "bug_id": job.spec.bug_id,
+            "version_name": job.spec.version,
+            "qed_definitive": False,
+            "deadline_expired": True,
+            "served_from_cache": False,
+            "cache_key": job.cache_key,
+        }
+        job.state = JobState.DONE
+        job.started_at = job.finished_at = time.time()
+        self.deadline_expired += 1
+        if self._inflight.get(job.cache_key) is job:
+            del self._inflight[job.cache_key]
+        self._retire(job)
+        self._bump(job)
+
     async def _run_job(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
+        retry_delay: Optional[float] = None
         try:
             executor = self._ensure_executor()
             spec_dict = job.spec.canonical_dict()
+            kwargs: Dict[str, object] = {}
+            if job.deadline is not None:
+                # Hand the worker its *remaining* budget; it rebases onto
+                # its own monotonic clock and threads it down the stack.
+                kwargs["deadline_seconds"] = job.deadline.remaining()
             if self.use_processes:
-                call = functools.partial(self.entry, spec_dict, job.job_id)
+                call = functools.partial(
+                    self.entry, spec_dict, job.job_id, **kwargs
+                )
             else:
                 def progress(stats: Dict[str, object]) -> None:
                     loop.call_soon_threadsafe(self._on_progress, job.job_id, stats)
 
                 call = functools.partial(
-                    self.entry, spec_dict, job.job_id, progress
+                    self.entry, spec_dict, job.job_id, progress, **kwargs
                 )
             result = await loop.run_in_executor(executor, call)
             record = dict(result["record"])
@@ -509,22 +687,145 @@ class JobQueue:
             job.state = JobState.DONE
             self.executed += 1
         except Exception as exc:
-            job.error = f"{type(exc).__name__}: {exc}"
-            job.state = JobState.FAILED
-            self.failed += 1
-            if isinstance(exc, BrokenExecutor):
-                # A worker died mid-job (e.g. OOM-kill).  Every future on
-                # the pool fails with it; replace the pool so the next job
-                # gets a healthy one.
-                self._discard_executor()
+            retry_delay = self._job_failed(job, exc)
         finally:
-            job.finished_at = time.time()
-            if self._inflight.get(job.cache_key) is job:
-                del self._inflight[job.cache_key]
             self._running -= 1
-            self._retire(job)
+            if retry_delay is None:
+                job.finished_at = time.time()
+                if self._inflight.get(job.cache_key) is job:
+                    del self._inflight[job.cache_key]
+                self._retire(job)
             self._bump(job)
             self._wake.set()
+        if retry_delay is not None:
+            await self._requeue_after(job, retry_delay)
+
+    def _job_failed(self, job: Job, exc: Exception) -> Optional[float]:
+        """Decide a failed dispatch's fate; returns a backoff delay to retry.
+
+        Only a ``BrokenExecutor`` (the worker process *died* -- OOM kill,
+        hard crash) is retried: the job never got an answer, so re-running
+        is safe and usually succeeds on a healthy pool.  An exception
+        *raised by* the entry is deterministic -- retrying would just
+        repeat it -- so it fails the job immediately.  A spec that kills
+        workers past ``max_retries`` is quarantined so resubmissions fail
+        fast instead of burning a fresh pool each time.
+        """
+        if isinstance(exc, BrokenExecutor):
+            # Every future on the broken pool fails with it; replace the
+            # pool so the next dispatch gets a healthy one.
+            self._discard_executor()
+            self._pool_broken = True
+            self.pool_rebuilds += 1
+            job.attempts += 1
+            if (
+                job.attempts <= self.max_retries
+                and not job.cancel_requested
+                and not self._draining
+            ):
+                self.retried += 1
+                job.state = JobState.QUEUED
+                return min(
+                    self.retry_backoff_base * (2.0 ** (job.attempts - 1)),
+                    self.retry_backoff_cap,
+                )
+            self.quarantined[job.cache_key] = {
+                "reason": "worker_crash",
+                "error": f"{type(exc).__name__}: {exc}",
+                "attempts": job.attempts,
+                "bug_id": job.spec.bug_id,
+                "at": time.time(),
+            }
+        job.error = f"{type(exc).__name__}: {exc}"
+        job.state = JobState.FAILED
+        self.failed += 1
+        return None
+
+    async def _requeue_after(self, job: Job, delay: float) -> None:
+        """(Backoff) Re-queue a crash-retried job after *delay* seconds."""
+        await asyncio.sleep(delay)
+        if job.state is not JobState.QUEUED:
+            return  # cancelled during the backoff window
+        heapq.heappush(
+            self._heap, (-job.priority, next(self._sequence), job.job_id)
+        )
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> Dict[str, object]:
+        """Graceful shutdown: stop dispatching, finish running solves,
+        snapshot the rest.
+
+        Sets the draining flag (new submissions raise
+        :class:`QueueDraining`, the scheduler stops pulling from the
+        heap), waits for in-flight solves to reach a terminal state, then
+        returns the :meth:`queue_state` snapshot of still-queued jobs --
+        the JSON-able payload a server persists so
+        :meth:`restore_state` can resubmit the work after a restart.
+        Queued jobs are then cancelled locally so their waiters unblock
+        with a terminal state instead of hanging on a dead queue.
+        """
+        self._draining = True
+        self._wake.set()
+        while self._running:
+            await asyncio.sleep(0.02)
+        state = self.queue_state()
+        for job in list(self.jobs.values()):
+            if job.state is JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.error = "drained for shutdown (state persisted)"
+                job.finished_at = time.time()
+                self.cancelled += 1
+                if self._inflight.get(job.cache_key) is job:
+                    del self._inflight[job.cache_key]
+                self._retire(job)
+                self._bump(job)
+        return state
+
+    def queue_state(self) -> Dict[str, object]:
+        """JSON-able snapshot of still-queued work (specs + priorities).
+
+        Deadlines are persisted as *remaining* seconds -- monotonic expiry
+        times are meaningless in the next process, remaining budget is
+        not.  Submission order is preserved; exact heap order is not (it
+        is re-derived from the priorities on restore).
+        """
+        queued: List[Dict[str, object]] = []
+        for job in self.jobs.values():
+            if job.state is not JobState.QUEUED:
+                continue
+            item: Dict[str, object] = {
+                "spec": job.spec.canonical_dict(),
+                "priority": job.priority,
+            }
+            if job.deadline is not None:
+                item["deadline_seconds"] = job.deadline.remaining()
+            queued.append(item)
+        return {"format": 1, "queued": queued}
+
+    def restore_state(self, state: Dict[str, object]) -> List[Job]:
+        """Resubmit jobs persisted by :meth:`drain` (the resume path)."""
+        if state.get("format") != 1:
+            raise ValueError(
+                f"unsupported queue-state format {state.get('format')!r}"
+            )
+        restored = []
+        for item in state.get("queued") or []:
+            if not isinstance(item, dict) or "spec" not in item:
+                continue  # tolerate a hand-edited or truncated snapshot
+            deadline_seconds = item.get("deadline_seconds")
+            restored.append(
+                self.submit(
+                    JobSpec.from_dict(dict(item["spec"])),
+                    priority=int(item.get("priority", 0)),
+                    deadline_seconds=(
+                        None
+                        if deadline_seconds is None
+                        else float(deadline_seconds)
+                    ),
+                )
+            )
+        return restored
 
     # ------------------------------------------------------------------
     async def wait(self, job: Job, *, since: int, timeout: float) -> None:
@@ -558,6 +859,13 @@ class JobQueue:
             "executed": self.executed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "retried": self.retried,
+            "pool_rebuilds": self.pool_rebuilds,
+            "pool_broken": self._pool_broken,
+            "deadline_expired": self.deadline_expired,
+            "quarantined": len(self.quarantined),
+            "quarantine_rejections": self.quarantine_rejections,
+            "draining": self._draining,
             "running": self._running,
             "queued": queued,
             "jobs_tracked": len(self.jobs),

@@ -26,7 +26,10 @@ Endpoints
     Queue + cache counters (input of
     :func:`repro.eval.report.serving_statistics`).
 ``GET /healthz``
-    Liveness probe.
+    Liveness + readiness probe: ``200`` with queue depth, pool liveness
+    and cache-log writability when the service can take work, ``503``
+    (with the same payload) while the worker pool is being rebuilt after
+    a crash, the cache log is unwritable, or the queue is draining.
 
 :class:`LocalServer` runs the full stack (loop, queue, server) on a
 background thread -- the in-process deployment used by tests, the CLI's
@@ -37,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -44,7 +48,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.analysis.findings import DesignLintError
 from repro.serve.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.serve.keys import JobSpec
-from repro.serve.queue import JobQueue, execute_job_spec
+from repro.serve.queue import JobQueue, QueueDraining, execute_job_spec
 
 __all__ = ["QEDServer", "LocalServer"]
 
@@ -84,6 +88,7 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -124,6 +129,26 @@ class QEDServer:
             await self._server.wait_closed()
             self._server = None
         await self.queue.stop()
+
+    async def drain(self, state_path: Optional[str] = None) -> dict:
+        """Graceful shutdown: drain the queue and persist its state.
+
+        In-flight long-polls keep streaming while running solves finish
+        (the listener stays up so ``GET /jobs/<id>`` and ``/healthz``
+        still answer; new ``POST /jobs`` get 503).  The queued-work
+        snapshot is written atomically to *state_path* (when given) and
+        returned; pass it to :meth:`JobQueue.restore_state` -- or start
+        the server with the same path -- to resume after a restart.
+        """
+        state = await self.queue.drain()
+        if state_path is not None:
+            tmp_path = state_path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as stream:
+                json.dump(state, stream, sort_keys=True, indent=2)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_path, state_path)
+        return state
 
     @property
     def base_url(self) -> str:
@@ -240,7 +265,7 @@ class QEDServer:
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
 
         if segments == ["healthz"] and method == "GET":
-            return 200, {"ok": True}
+            return self._healthz()
         if segments == ["stats"] and method == "GET":
             return 200, self._stats()
         if segments == ["jobs"]:
@@ -278,6 +303,11 @@ class QEDServer:
                 raise _BadRequest("body needs 'spec' or 'bug_id'")
             priority = int(body.get("priority", 0))
             force = bool(body.get("force", False))
+            deadline_seconds = body.get("deadline_seconds")
+            if deadline_seconds is not None:
+                deadline_seconds = float(deadline_seconds)
+                if deadline_seconds <= 0:
+                    raise _BadRequest("deadline_seconds must be positive")
         except _BadRequest:
             raise
         except (AttributeError, KeyError, TypeError, ValueError) as exc:
@@ -300,7 +330,16 @@ class QEDServer:
             spec = await loop.run_in_executor(None, spec.resolved)
         except (KeyError, ValueError) as exc:
             raise _BadRequest(f"invalid job spec: {exc}")
-        job = self.queue.submit(spec, priority=priority, force=force)
+        try:
+            job = self.queue.submit(
+                spec,
+                priority=priority,
+                force=force,
+                deadline_seconds=deadline_seconds,
+            )
+        except QueueDraining as exc:
+            self.requests_rejected += 1
+            return 503, {"error": str(exc), "draining": True}
         return (200 if job.cache_hit else 202), {"job": job.to_json_dict()}
 
     async def _get_job(self, job_id: str, query: Dict[str, str]) -> Tuple[int, dict]:
@@ -327,6 +366,32 @@ class QEDServer:
             return 404, {"error": f"unknown job {job_id!r}"}
         job = self.queue.jobs[job_id]
         return 200, {"cancelled": cancelled, "job": job.to_json_dict()}
+
+    def _healthz(self) -> Tuple[int, dict]:
+        """Readiness probe: 200 when the service can take work, else 503.
+
+        Not-ready causes: the worker pool died and has not been rebuilt
+        yet, the result-cache log lost writability (full disk, detached
+        volume), or the queue is draining for shutdown.  The payload
+        carries the individual signals either way, so an operator sees
+        *why* from the probe itself.
+        """
+        stats = self.queue.stats_dict()
+        cache_writable = self.queue.cache is None or self.queue.cache.writable()
+        ready = (
+            not stats["pool_broken"]
+            and not stats["draining"]
+            and cache_writable
+        )
+        payload = {
+            "ok": ready,
+            "queued": stats["queued"],
+            "running": stats["running"],
+            "pool_broken": stats["pool_broken"],
+            "draining": stats["draining"],
+            "cache_writable": cache_writable,
+        }
+        return (200 if ready else 503), payload
 
     def _get_result(self, key: str) -> Tuple[int, dict]:
         cache = self.queue.cache
@@ -370,6 +435,8 @@ class LocalServer:
         use_processes: bool = True,
         host: str = "127.0.0.1",
         port: int = 0,
+        state_path: Optional[str] = None,
+        **queue_kwargs,
     ) -> None:
         self.cache = cache if cache is not None else (
             ResultCache(cache_dir) if cache_dir is not None else None
@@ -379,9 +446,14 @@ class LocalServer:
             workers=workers,
             entry=entry,
             use_processes=use_processes,
+            **queue_kwargs,
         )
         self._host = host
         self._port = port
+        #: Where :meth:`drain` persists queued work, and where start-up
+        #: looks for a previous drain's snapshot to resume (the file is
+        #: consumed -- deleted once its jobs are resubmitted).
+        self.state_path = state_path
         self.server: Optional[QEDServer] = None
         self.queue: Optional[JobQueue] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -413,6 +485,7 @@ class LocalServer:
         self.server = QEDServer(self.queue, host=self._host, port=self._port)
         try:
             loop.run_until_complete(self.server.start())
+            self._restore_persisted_state()
         except BaseException as exc:
             self._startup_error = exc
             self._ready.set()
@@ -424,6 +497,34 @@ class LocalServer:
         finally:
             loop.run_until_complete(self.server.stop())
             loop.close()
+
+    def _restore_persisted_state(self) -> None:
+        """Resubmit work a previous drain persisted (runs on the loop)."""
+        path = self.state_path
+        if path is None or not os.path.exists(path):
+            return
+        assert self.queue is not None
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                state = json.load(stream)
+            self.queue.restore_state(state)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return  # corrupt snapshot: leave it on disk for inspection
+        os.remove(path)
+
+    def drain(self, state_path: Optional[str] = None, *, timeout: float = 60.0) -> dict:
+        """Drain the queue from any thread; returns the persisted state.
+
+        Running solves finish, queued work is snapshotted to
+        ``state_path`` (default: the server's configured ``state_path``)
+        and new submissions get 503 until the process restarts.
+        """
+        loop = self._loop
+        assert loop is not None and self.server is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(state_path or self.state_path), loop
+        )
+        return future.result(timeout=timeout)
 
     def stop(self) -> None:
         loop = self._loop

@@ -1,0 +1,21 @@
+"""Shared helpers for the chaos tests (not a test module)."""
+
+from repro.serve.keys import JobSpec
+
+
+def make_spec(bug_id="__echo__", **config):
+    """A synthetic, fully resolved spec for the selftest entry.
+
+    Mirrors ``tests/serve/serve_helpers.make_spec``: the
+    ``__echo__``/``__sleep:S__``/``__crash__`` markers drive
+    :func:`repro.serve.queue._selftest_entry`, never the real executor.
+    """
+    return JobSpec(
+        bug_id=bug_id,
+        version="T.v1",
+        fingerprint="f" * 64,
+        mode="eddiv",
+        focus_opcodes=("LDI",),
+        bound=4,
+        config=config,
+    )

@@ -1,0 +1,12 @@
+"""Chaos-harness fixtures: every test leaves no injector behind."""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    """An injector left installed would corrupt every later test."""
+    yield
+    faults.clear()

@@ -1,0 +1,125 @@
+"""Chaos scenarios against the result cache's append-only log.
+
+The log is the crash boundary of the serving layer: a worker dying
+mid-append leaves a torn line, a retried append can double a line.  Both
+faults are injected through :mod:`repro.faults` at the real write site
+(``serve.cache.append``) and must be invisible to replay -- every entry
+written *healthily* survives, and no fault resurrects a weaker verdict.
+"""
+
+from repro import faults
+from repro.serve.cache import ResultCache
+
+
+def _record(tag):
+    return {"bug_id": tag, "qed_definitive": True}
+
+
+class TestTornWrite:
+    def test_torn_line_loses_only_itself(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        faults.install(
+            faults.FaultInjector(
+                [
+                    faults.FaultSpec(
+                        site="serve.cache.append", action="torn_write", at=1
+                    )
+                ],
+                seed=2,
+            )
+        )
+        cache.put("k" * 64, _record("torn"), fingerprint="f", definitive=True)
+        faults.clear()
+        cache.put("h" * 64, _record("whole"), fingerprint="f", definitive=True)
+
+        replayed = ResultCache(str(tmp_path))
+        # The torn entry is gone -- a crash mid-write loses that write --
+        # but the entry appended *after* it replays intact: the torn tail
+        # was healed before the next line, never glued onto it.
+        assert replayed.get("k" * 64) is None
+        entry = replayed.get("h" * 64)
+        assert entry is not None
+        assert entry.record == _record("whole")
+
+    def test_torn_tail_heals_without_a_restart(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        faults.install(
+            faults.FaultInjector(
+                [
+                    faults.FaultSpec(
+                        site="serve.cache.append", action="torn_write", at=1
+                    )
+                ],
+                seed=2,
+            )
+        )
+        cache.put("k" * 64, _record("torn"), fingerprint="f", definitive=True)
+        faults.clear()
+        # Same process keeps appending: the in-memory tier still has the
+        # torn entry, and the healed log serves the later one on restart.
+        cache.put("h" * 64, _record("after"), fingerprint="f", definitive=True)
+        log = (tmp_path / "results.jsonl").read_bytes()
+        assert log.endswith(b"\n")
+        # Exactly two lines: the torn fragment (newline-healed) + the
+        # healthy entry.
+        assert log.count(b"\n") == 2
+
+
+class TestDuplicateWrite:
+    def test_duplicated_line_replays_to_one_entry(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        faults.install(
+            faults.FaultInjector(
+                [
+                    faults.FaultSpec(
+                        site="serve.cache.append", action="duplicate", at=1
+                    )
+                ],
+                seed=2,
+            )
+        )
+        cache.put("k" * 64, _record("twice"), fingerprint="f", definitive=True)
+        faults.clear()
+
+        replayed = ResultCache(str(tmp_path))
+        entry = replayed.get("k" * 64)
+        assert entry is not None
+        assert entry.record == _record("twice")
+        assert len(replayed) == 1  # the duplicate aliases, it does not fork
+
+
+class TestMonotoneUpgradeSurvivesFaults:
+    def test_deadline_unknown_upgrades_but_never_downgrades(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = "k" * 64
+        # A deadline-truncated run admits a non-definitive UNKNOWN...
+        cache.put(
+            key,
+            {"bug_id": "b", "qed_definitive": False, "deadline_expired": True},
+            fingerprint="f",
+            definitive=False,
+        )
+        # ...a later full run upgrades it to definitive...
+        cache.put(
+            key,
+            {"bug_id": "b", "qed_definitive": True},
+            fingerprint="f",
+            definitive=True,
+        )
+        assert cache.upgrades == 1
+        # ...and another truncated run can never downgrade it back.
+        kept = cache.put(
+            key,
+            {"bug_id": "b", "qed_definitive": False, "deadline_expired": True},
+            fingerprint="f",
+            definitive=False,
+        )
+        assert kept.definitive is True
+        assert cache.downgrades_rejected == 1
+
+        # Replay applies the same rule: the strongest line survives the
+        # restart even though a weaker one was appended after it.
+        replayed = ResultCache(str(tmp_path))
+        entry = replayed.get(key)
+        assert entry is not None and entry.definitive is True
+        assert entry.record["qed_definitive"] is True

@@ -1,0 +1,190 @@
+"""Chaos scenarios against the campaign journal: crash, resume, equality.
+
+The acceptance bar from the fault-tolerance issue: a campaign SIGKILLed
+mid-run resumes from its journal with the already-journaled prefix
+byte-identical, and the merged records equal a fresh fault-free run on
+every deterministic field.  The kill happens in a *subprocess* because
+``faults`` delivers it as ``os._exit`` -- the real thing, not an
+exception a ``finally`` could soften.
+"""
+
+import json
+import subprocess
+import sys
+
+from repro import faults
+from repro.eval.campaign import (
+    CampaignConfig,
+    load_campaign_journal,
+    record_to_json_dict,
+    run_campaign,
+)
+
+#: Two journalable sub-second bugs (industrial flow and directed tests off).
+BUG_IDS = ["sra_zero_fill", "cmpi_carry_spec"]
+
+
+def _config():
+    return CampaignConfig(
+        bug_ids=BUG_IDS,
+        run_industrial_flow=False,
+        run_directed_tests=False,
+    )
+
+
+def _comparable(record):
+    """Every deterministic field: wall-clock measurements stripped."""
+    data = record_to_json_dict(record)
+    deterministic = {
+        key: value
+        for key, value in data.items()
+        if not key.endswith("_seconds")
+    }
+    return json.dumps(deterministic, sort_keys=True)
+
+
+_KILLED_CAMPAIGN = """
+import sys
+from repro import faults
+from repro.eval.campaign import CampaignConfig, run_campaign
+
+faults.install(
+    faults.FaultInjector(
+        [faults.FaultSpec(site="eval.campaign.record", action="kill", at=1)],
+        seed=29,
+    )
+)
+run_campaign(
+    CampaignConfig(
+        bug_ids={bug_ids!r},
+        run_industrial_flow=False,
+        run_directed_tests=False,
+    ),
+    journal_path=sys.argv[1],
+)
+raise SystemExit("unreachable: the kill must fire first")
+"""
+
+
+class TestKilledCampaignResumes:
+    def test_resume_preserves_prefix_and_matches_fault_free(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _KILLED_CAMPAIGN.format(bug_ids=BUG_IDS),
+                str(journal),
+            ],
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+            capture_output=True,
+            timeout=120,
+        )
+        # The seeded SIGKILL fired right after the first record's append.
+        assert proc.returncode == faults.KILL_EXIT_CODE, proc.stderr.decode()
+        prefix = journal.read_bytes()
+        survivors = load_campaign_journal(str(journal), _config())
+        assert [r.bug_id for r in survivors] == BUG_IDS[:1]
+
+        # Resume in-process: only the missing bug runs, appended after
+        # the untouched prefix.
+        resumed = run_campaign(_config(), journal_path=str(journal))
+        assert journal.read_bytes().startswith(prefix)
+        assert [r.bug_id for r in resumed.records] == BUG_IDS
+
+        # The merged result is indistinguishable from a run that never
+        # crashed, on every deterministic field.
+        fresh = run_campaign(_config())
+        assert [_comparable(r) for r in resumed.records] == [
+            _comparable(r) for r in fresh.records
+        ]
+
+        # And the journal itself now replays the complete campaign.
+        replayed = load_campaign_journal(str(journal), _config())
+        assert [_comparable(r) for r in replayed] == [
+            _comparable(r) for r in fresh.records
+        ]
+
+
+class TestDeadlineTruncatedDetection:
+    def test_truncated_search_is_marked_and_non_definitive(self):
+        from repro.deadline import Deadline
+        from repro.eval.campaign import CampaignConfig, detect_bug
+
+        # An eddiv bug under an already-expired budget: every bound's
+        # solve returns UNKNOWN immediately, nothing is claimed.
+        record = detect_bug(
+            "wrport_collision",
+            CampaignConfig(
+                run_industrial_flow=False, run_directed_tests=False
+            ),
+            deadline=Deadline.from_seconds(0.0),
+        )
+        assert record.deadline_expired is True
+        assert record.qed_definitive is False
+        assert not record.detected_by_symbolic_qed
+
+    def test_detection_found_before_expiry_stays_definitive(self):
+        from repro.deadline import Deadline
+        from repro.eval.campaign import detect_bug
+
+        # single_i runs to completion and finds the bug; with no
+        # industrial/directed stages requested the record is complete,
+        # so expiry marks it without weakening the verdict.
+        record = detect_bug(
+            BUG_IDS[0], _config(), deadline=Deadline.from_seconds(0.0)
+        )
+        assert record.deadline_expired is True
+        assert record.detected_by_symbolic_qed
+        assert record.qed_definitive is True
+
+    def test_expiry_with_requested_stages_skipped_downgrades(self):
+        from repro.deadline import Deadline
+        from repro.eval.campaign import CampaignConfig, detect_bug
+
+        record = detect_bug(
+            BUG_IDS[0],
+            CampaignConfig(
+                bug_ids=BUG_IDS,
+                run_industrial_flow=True,
+                run_directed_tests=False,
+            ),
+            deadline=Deadline.from_seconds(0.0),
+        )
+        assert record.deadline_expired is True
+        # The industrial flow was requested but skipped: incomplete.
+        assert record.qed_definitive is False
+        assert record.crs_detected is False
+
+
+class TestTornJournalRecord:
+    def test_torn_record_is_resolved_on_resume(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        faults.install(
+            faults.FaultInjector(
+                [
+                    # Tear the second record's append mid-line: the crash
+                    # window between write() and a completed fsync.
+                    faults.FaultSpec(
+                        site="eval.campaign.journal", action="torn_write", at=2
+                    )
+                ],
+                seed=31,
+            )
+        )
+        first = run_campaign(_config(), journal_path=str(journal))
+        faults.clear()
+
+        # Replay drops exactly the torn record; the healthy one survives.
+        survivors = load_campaign_journal(str(journal), _config())
+        assert [r.bug_id for r in survivors] == BUG_IDS[:1]
+
+        # Resume re-solves only the torn bug and converges on the same
+        # records as the faulted run already returned in memory.
+        resumed = run_campaign(_config(), journal_path=str(journal))
+        assert [_comparable(r) for r in resumed.records] == [
+            _comparable(r) for r in first.records
+        ]
+        replayed = load_campaign_journal(str(journal), _config())
+        assert [r.bug_id for r in replayed] == BUG_IDS

@@ -1,0 +1,130 @@
+"""Chaos scenarios against the distributed cube-and-conquer scheduler.
+
+The acceptance bar: a killed or slowed cube worker may cost time, never
+correctness.  The verdict under faults must equal the fault-free verdict
+(UNSAT stays UNSAT -- the crashed cube is recovered and re-solved, not
+silently counted as done).
+"""
+
+from repro import faults
+from repro.deadline import Deadline
+from repro.dist.cubes import binary_cubes, ladder_cubes
+from repro.dist.scheduler import SplitConfig, SplitQuery, WorkScheduler
+from repro.sat.solver import SolverStatus
+
+# x1|x2 and x3|x4 but every cross pair forbidden: UNSAT.
+UNSAT_CLAUSES = [[1, 2], [3, 4], [-1, -3], [-1, -4], [-2, -3], [-2, -4]]
+# Satisfiable with 3 forced true whenever 1 or 2 holds.
+SAT_CLAUSES = [[1, 2], [-1, 3], [-2, 3]]
+
+
+def _query(clauses, num_vars, cubes):
+    return SplitQuery(
+        clauses=[list(c) for c in clauses], num_vars=num_vars, cubes=cubes
+    )
+
+
+def _solve(clauses, num_vars, cubes, workers=2):
+    query = _query(clauses, num_vars, cubes)
+    return WorkScheduler(SplitConfig(workers=workers)).solve(query)
+
+
+class TestCubeWorkerKill:
+    def test_killed_worker_does_not_flip_unsat(self, tmp_path):
+        # Fault-free baseline first (also warms nothing: fresh processes).
+        baseline = _solve(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        assert baseline.status is SolverStatus.UNSAT
+
+        faults.install(
+            faults.FaultInjector(
+                [
+                    # Kill the first worker that picks up a cube, exactly
+                    # once across the whole (multi-process) run.
+                    faults.FaultSpec(
+                        site="dist.scheduler.cube",
+                        action="kill",
+                        at=1,
+                        once=True,
+                    )
+                ],
+                seed=13,
+                token_dir=tmp_path,
+            )
+        )
+        chaotic = _solve(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        # The crashed cube was re-enqueued and re-solved: same verdict,
+        # every cube accounted for.
+        assert chaotic.status is baseline.status
+
+    def test_killed_worker_does_not_lose_sat(self, tmp_path):
+        faults.install(
+            faults.FaultInjector(
+                [
+                    faults.FaultSpec(
+                        site="dist.scheduler.cube",
+                        action="kill",
+                        at=1,
+                        once=True,
+                    )
+                ],
+                seed=17,
+                token_dir=tmp_path,
+            )
+        )
+        result = _solve(SAT_CLAUSES, 3, ladder_cubes([1, 2]))
+        assert result.status is SolverStatus.SAT
+        assert result.model is not None
+        # The model must actually satisfy the formula (1-indexed).
+        for clause in SAT_CLAUSES:
+            assert any(
+                (lit > 0) == result.model[abs(lit)] for lit in clause
+            ), f"clause {clause} unsatisfied"
+
+
+class TestSlowWorker:
+    def test_delayed_cubes_only_cost_time(self):
+        faults.install(
+            faults.FaultInjector(
+                [
+                    # Every cube pickup stalls briefly: a worker swapping
+                    # or an overloaded core, not a crash.
+                    faults.FaultSpec(
+                        site="dist.scheduler.cube",
+                        action="delay",
+                        at=1,
+                        count=0,
+                        delay_seconds=0.05,
+                    )
+                ],
+                seed=19,
+            )
+        )
+        result = _solve(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        assert result.status is SolverStatus.UNSAT
+        assert result.stats.cubes_total == 4
+        assert all(c.verdict == "unsat" for c in result.stats.cubes)
+
+
+class TestDeadlineMidSolve:
+    """An expired wall-clock budget degrades to UNKNOWN, never flips."""
+
+    def test_expired_deadline_is_unknown_sequentially(self):
+        query = _query(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        result = WorkScheduler(SplitConfig(workers=1)).solve(
+            query, deadline=Deadline.from_seconds(0.0)
+        )
+        assert result.status is SolverStatus.UNKNOWN
+
+    def test_expired_deadline_is_unknown_across_workers(self):
+        query = _query(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        result = WorkScheduler(SplitConfig(workers=2)).solve(
+            query, deadline=Deadline.from_seconds(0.0)
+        )
+        assert result.status is SolverStatus.UNKNOWN
+
+    def test_generous_deadline_does_not_change_the_verdict(self):
+        query = _query(UNSAT_CLAUSES, 4, binary_cubes([1, 2], 2))
+        result = WorkScheduler(SplitConfig(workers=2)).solve(
+            query, deadline=Deadline.from_seconds(60.0)
+        )
+        assert result.status is SolverStatus.UNSAT

@@ -1,0 +1,129 @@
+"""Unit tests of the seeded fault injector itself.
+
+The chaos scenarios only mean something if the injector's firing
+semantics are exact: 1-based ``at``, ``count`` windows, seed-derived
+schedules that repeat, and fire-once tokens that hold across forked
+processes (the crash-retry case: a replacement pool inherits the
+parent's zero hit counters, so only the on-disk token can remember that
+the fault already fired).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import faults
+
+
+def _hits_that_fire(spec, total_hits):
+    injector = faults.FaultInjector([spec])
+    fired = []
+    for hit in range(1, total_hits + 1):
+        if injector.message_fate(spec.site) != "deliver":
+            fired.append(hit)
+    return fired
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            faults.FaultSpec(site="s", action="segfault")
+
+    def test_rejects_negative_at(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            faults.FaultSpec(site="s", action="drop", at=-1)
+
+
+class TestFiringWindows:
+    def test_at_count_window(self):
+        spec = faults.FaultSpec(site="s", action="drop", at=2, count=2)
+        assert _hits_that_fire(spec, 6) == [2, 3]
+
+    def test_count_zero_fires_forever(self):
+        spec = faults.FaultSpec(site="s", action="drop", at=3, count=0)
+        assert _hits_that_fire(spec, 6) == [3, 4, 5, 6]
+
+    def test_sites_count_independently(self):
+        injector = faults.FaultInjector(
+            [faults.FaultSpec(site="a", action="drop", at=2)]
+        )
+        assert injector.message_fate("b") == "deliver"  # does not advance "a"
+        assert injector.message_fate("a") == "deliver"  # hit 1
+        assert injector.message_fate("a") == "drop"     # hit 2
+        assert injector.fired == [("a", "drop", 2)]
+
+
+class TestSeededSchedule:
+    def test_seed_zero_at_is_deterministic(self):
+        spec = faults.FaultSpec(site="s", action="drop", at=0)
+        first = faults.FaultInjector([spec], seed=7).specs[0].at
+        second = faults.FaultInjector([spec], seed=7).specs[0].at
+        assert first == second
+        assert 1 <= first <= 4  # small enough for short workloads
+
+    def test_different_seeds_cover_different_hits(self):
+        spec = faults.FaultSpec(site="s", action="drop", at=0)
+        resolved = {
+            faults.FaultInjector([spec], seed=seed).specs[0].at
+            for seed in range(16)
+        }
+        assert len(resolved) > 1
+
+
+class TestOnceToken:
+    def test_once_fires_exactly_once_across_injectors(self, tmp_path):
+        # Two injectors over the same token_dir model the dispatch-retry
+        # case: the replacement worker is a fresh fork with zeroed hit
+        # counters, and only the token file stops a second firing.
+        spec = faults.FaultSpec(site="s", action="raise", at=1, once=True)
+        first = faults.FaultInjector([spec], token_dir=tmp_path)
+        second = faults.FaultInjector([spec], token_dir=tmp_path)
+        with pytest.raises(faults.FaultError):
+            first.crash_point("s")
+        second.crash_point("s")  # token already claimed: must not raise
+        assert second.fired == []
+
+    def test_kill_exits_with_chaos_code(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+
+        process = context.Process(target=_kill_child, args=(str(tmp_path),))
+        process.start()
+        process.join(timeout=10.0)
+        assert process.exitcode == faults.KILL_EXIT_CODE
+
+
+def _kill_child(token_dir):  # fork-entry
+    injector = faults.FaultInjector(
+        [faults.FaultSpec(site="s", action="kill", at=1, once=True)],
+        token_dir=token_dir,
+    )
+    faults.install(injector)
+    faults.crash_point("s")
+
+
+class TestCallSiteHelpers:
+    def test_no_injector_is_a_no_op(self):
+        faults.clear()
+        faults.crash_point("anything")
+        assert faults.message_fate("anything") == "deliver"
+        assert faults.mangle_write("anything", b"data") == b"data"
+        assert faults.active() is None
+
+    def test_mangle_torn_write_truncates(self):
+        injector = faults.FaultInjector(
+            [faults.FaultSpec(site="w", action="torn_write", torn_bytes=4)]
+        )
+        assert injector.mangle_write("w", b"0123456789") == b"0123"
+
+    def test_mangle_duplicate_doubles(self):
+        injector = faults.FaultInjector(
+            [faults.FaultSpec(site="w", action="duplicate")]
+        )
+        assert injector.mangle_write("w", b"ab") == b"abab"
+
+    def test_delay_sleeps_then_delivers(self):
+        injector = faults.FaultInjector(
+            [faults.FaultSpec(site="s", action="delay", delay_seconds=0.01)]
+        )
+        assert injector.message_fate("s") == "deliver"
+        assert injector.fired == [("s", "delay", 1)]
