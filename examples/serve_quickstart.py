@@ -57,6 +57,16 @@ def main() -> None:
                 f"{stats['executed']} executed, {stats['cache_hits']} cache hits"
             )
 
+            # Every job carries a span trace end to end -- queue wait, lint,
+            # per-bound encode/solve -- browsable while the server is up
+            # (scripts/trace_qed.py renders the same JSON as a tree).
+            trace = client.trace(first.job_id)
+            print(f"trace    : {url}/jobs/{first.job_id}/trace")
+            print(
+                f"           {len(trace['spans'])} spans recorded "
+                f"(trace id {trace['trace_id']})"
+            )
+
 
 if __name__ == "__main__":
     main()

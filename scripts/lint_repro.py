@@ -56,6 +56,10 @@ FORK_GLOBS = (
     # crash/delay/mangle sites are called from fork entry points), so it
     # is held to the same no-locks/no-asyncio reachability rule.
     "src/repro/faults.py",
+    # The observability layer's collectors/registries are inherited by
+    # every forked worker (the faults._INJECTOR pattern) and record from
+    # inside them, so the whole package is in scope too.
+    "src/repro/obs/*.py",
 )
 #: Packages held to ``mypy --strict`` (via mypy.ini per-module sections).
 TYPED_CORE = ("src/repro/sat", "src/repro/bmc", "src/repro/expr")

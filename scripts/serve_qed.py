@@ -170,6 +170,22 @@ def cmd_smoke(args) -> int:
             failures.append("identical resubmission was not a cache hit")
         if second.record is None or not second.record.get("served_from_cache"):
             failures.append("cache-served record lacks provenance")
+        # The /metrics scrape must reflect what just happened: at least
+        # the warm resubmission as a cache hit, and both submissions on
+        # the queue counter.  A zero here means the instrumentation came
+        # unwired, even though the jobs themselves succeeded.
+        from repro.obs.metrics import parse_prometheus
+
+        metrics = parse_prometheus(client.metrics_text())
+        if not metrics.get("qed_cache_hits_total"):
+            failures.append("/metrics reports zero qed_cache_hits_total")
+        if not metrics.get("qed_jobs_submitted_total"):
+            failures.append("/metrics reports zero qed_jobs_submitted_total")
+        if args.trace_out:
+            trace = client.trace(view.job_id)
+            with open(args.trace_out, "w", encoding="utf-8") as stream:
+                json.dump(trace, stream, indent=2, sort_keys=True)
+            print(f"wrote {args.trace_out} (smoke job trace)")
         stats = serving_statistics(client.stats())
         print(json.dumps(stats, indent=2))
     if failures:
@@ -243,6 +259,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     smoke = commands.add_parser("smoke", help="CI smoke gate")
     add_common(smoke, server_required=False)
+    smoke.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the smoke job's span trace as JSON to PATH "
+        "(CI uploads it as an artifact)",
+    )
     smoke.set_defaults(func=cmd_smoke)
 
     args = parser.parse_args(argv)

@@ -80,6 +80,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bmc.property import Assumption, SafetyProperty
 from repro.deadline import Deadline
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.bmc.trace import CounterexampleTrace, property_holds_at, replay_inputs
 from repro.bmc.unroller import SYMBOLIC, Unroller
 from repro.dist.cubes import (
@@ -972,6 +974,27 @@ class BoundedModelChecker:
 
         def emit(stats: BoundStats) -> None:
             per_bound_stats.append(stats)
+            # Metrics sampling happens here -- the existing per-bound poll
+            # point -- never inside the solver's hot loops.
+            registry = obs_metrics.process_metrics()
+            registry.inc("qed_bounds_total")
+            if stats.conflicts:
+                registry.inc("qed_solver_conflicts_total", stats.conflicts)
+            if stats.decisions:
+                registry.inc("qed_solver_decisions_total", stats.decisions)
+            if stats.propagations:
+                registry.inc(
+                    "qed_solver_propagations_total", stats.propagations
+                )
+            if stats.learned_clauses:
+                registry.inc(
+                    "qed_solver_learned_clauses_total", stats.learned_clauses
+                )
+            if stats.solve_seconds:
+                registry.inc(
+                    "qed_stage_seconds_total", stats.solve_seconds,
+                    stage="solve",
+                )
             if on_bound is not None:
                 on_bound(stats)
 
@@ -982,6 +1005,10 @@ class BoundedModelChecker:
                 # schedule and the stats list never silently diverge --
                 # a truncated run must not look definitive downstream.
                 deadline_expired = True
+                obs_trace.event("bmc.deadline_expired", bound=bound)
+                obs_metrics.process_metrics().inc(
+                    "qed_deadline_expiries_total", scope="bmc"
+                )
                 emit(
                     BoundStats(
                         bound=bound,
@@ -1001,7 +1028,9 @@ class BoundedModelChecker:
             bound_start = time.perf_counter()
             vars_before = self._cnf.num_vars
             clauses_before = self._cnf.num_clauses
-            self._encode_new_frames(bound)
+            bound_span = obs_trace.span("bmc.bound", bound=bound)
+            with obs_trace.span("bmc.encode", bound=bound):
+                self._encode_new_frames(bound)
 
             window_start = max(self._proven_frames, problem.prop.start_cycle)
             if window_start >= bound:
@@ -1009,6 +1038,7 @@ class BoundedModelChecker:
                 # (still before its start cycle): nothing to ask the solver.
                 elapsed = time.perf_counter() - bound_start
                 per_bound.append(elapsed)
+                bound_span.close(verdict="skipped")
                 emit(
                     BoundStats(
                         bound=bound,
@@ -1026,21 +1056,42 @@ class BoundedModelChecker:
                 )
                 continue
 
-            activation_var, window_roots = self._encode_window(
-                window_start, bound
-            )
-            window_cone = self._unroller.aig.cone_of(window_roots)
-            cone_nodes = len(window_cone)
-            asserted, deferred = self._assert_coi_assumptions(window_cone)
+            with obs_trace.span("bmc.encode_window", bound=bound):
+                activation_var, window_roots = self._encode_window(
+                    window_start, bound
+                )
+            with obs_trace.span("bmc.coi", bound=bound) as coi_span:
+                window_cone = self._unroller.aig.cone_of(window_roots)
+                cone_nodes = len(window_cone)
+                asserted, deferred = self._assert_coi_assumptions(window_cone)
+                coi_span.set(cone_nodes=cone_nodes, asserted=asserted)
+            encode_seconds = time.perf_counter() - bound_start
             slab_before = self._cnf.num_clauses - self._clauses_fed
-            preprocess_stats = (
-                self._preprocess_slab(activation_var, window_roots)
-                if problem.preprocess
-                else None
+            with obs_trace.span("bmc.preprocess", bound=bound):
+                preprocess_stats = (
+                    self._preprocess_slab(activation_var, window_roots)
+                    if problem.preprocess
+                    else None
+                )
+            preprocess_seconds = (
+                time.perf_counter() - bound_start - encode_seconds
             )
+            registry = obs_metrics.process_metrics()
+            registry.inc(
+                "qed_stage_seconds_total", encode_seconds, stage="encode"
+            )
+            if preprocess_seconds > 0.0:
+                registry.inc(
+                    "qed_stage_seconds_total",
+                    preprocess_seconds,
+                    stage="preprocess",
+                )
             slab_after = self._cnf.num_clauses - self._clauses_fed
             dist_stats: Optional[DistStats] = None
             if problem.split is not None:
+                solve_span = obs_trace.span(
+                    "bmc.solve", bound=bound, mode="distributed"
+                )
                 result = self._solve_distributed(
                     activation_var, window_roots, window_cone, deadline
                 )
@@ -1074,7 +1125,11 @@ class BoundedModelChecker:
                 # (look-ahead split scoring) and window retirement are not
                 # solver throughput.
                 solve_seconds = dist_stats.wall_seconds
+                solve_span.close(verdict=result.status.value)
             else:
+                solve_span = obs_trace.span(
+                    "bmc.solve", bound=bound, mode="incremental"
+                )
                 solver = self._sync_solver()
                 solve_start = time.perf_counter()
                 result = solver.solve(
@@ -1099,6 +1154,7 @@ class BoundedModelChecker:
                     self._retire_window(activation_var, window_start, bound)
                     self._sync_solver()
                 learned_carried = solver.num_learned_clauses
+                solve_span.close(verdict=result.status.value)
 
             elapsed = time.perf_counter() - bound_start
             per_bound.append(elapsed)
@@ -1128,6 +1184,9 @@ class BoundedModelChecker:
                     preprocess=preprocess_stats,
                     dist=dist_stats,
                 )
+            )
+            bound_span.close(
+                verdict=result.status.value, seconds=round(elapsed, 6)
             )
 
             if result.is_sat:

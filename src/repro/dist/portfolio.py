@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from repro.deadline import Deadline
+from repro.obs import trace as obs_trace
 from repro.sat.cnf import CNF, Literal, var_of
 from repro.sat.preprocess import PreprocessResult, preprocess
 from repro.sat.solver import CDCLSolver, SolverResult, SolverStatus
@@ -189,10 +190,16 @@ def _race_worker(  # fork-entry
     expires_at: Optional[float] = None,
 ) -> None:
     """Process entry point: solve and report (top-level so it pickles)."""
+    # Inherited through the fork like the deadline: spans recorded here
+    # carry the parent's trace id and ship back with the result.
+    collector = obs_trace.active()
+    obs_mark = None if collector is None else collector.mark()
+    racer_span = obs_trace.span("portfolio.racer", config=config.name)
     result, reduction = _solve_one(
         config, clauses, num_vars, assumptions, frozen, max_conflicts,
         expires_at,
     )
+    racer_span.close(verdict=result.status.value)
     model = result.model
     if model is not None and reduction is not None:
         model = reduction.extend_model(model)
@@ -205,6 +212,7 @@ def _race_worker(  # fork-entry
             result.stats.decisions,
             result.stats.propagations,
             result.stats.learned_clauses,
+            None if obs_mark is None else collector.batch_since(obs_mark),
         )
     )
 
@@ -238,10 +246,11 @@ def solve_portfolio(
     expires_at = None if deadline is None else deadline.expires_at
     start = time.perf_counter()
     if len(raced) == 1:
-        result, reduction = _solve_one(
-            raced[0], clauses, num_vars, assumptions, frozen, max_conflicts,
-            expires_at,
-        )
+        with obs_trace.span("portfolio.racer", config=raced[0].name):
+            result, reduction = _solve_one(
+                raced[0], clauses, num_vars, assumptions, frozen,
+                max_conflicts, expires_at,
+            )
         model = result.model
         if model is not None and reduction is not None:
             model = reduction.extend_model(model)
@@ -297,6 +306,7 @@ def solve_portfolio(
                     decisions,
                     propagations,
                     learned,
+                    span_batch,
                 ) = results.get(timeout=poll_seconds)
             except queue_module.Empty:
                 # A worker that died without reporting (OOM kill) must not
@@ -305,6 +315,9 @@ def solve_portfolio(
                     break
                 continue
             finished += 1
+            collector = obs_trace.active()
+            if collector is not None and span_batch is not None:
+                collector.absorb(span_batch)
             status = SolverStatus(status_value)
             outcome.finished[raced[index].name] = status_value
             # Work counters always mean "total work of every finished

@@ -59,6 +59,8 @@ from typing import (
 from repro import faults
 from repro.deadline import Deadline
 from repro.dist.cubes import Cube, split_cube
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.dist.portfolio import (
     DIVERSE_CONFIGS,
     PortfolioConfig,
@@ -354,13 +356,28 @@ class WorkScheduler:
         """
         config = self.config
         start = time.perf_counter()
-        if config.strategy == "portfolio":
-            result = self._solve_portfolio(query, deadline)
-        elif config.workers == 1:
-            result = self._solve_sequential(query, deadline)
-        else:
-            result = self._solve_parallel(query, deadline)
-        result.stats.wall_seconds = time.perf_counter() - start
+        # The dist.solve span is open while workers fork, so every cube
+        # worker inherits it on its collector stack -- shipped worker
+        # spans parent under it with the same trace id.
+        with obs_trace.span(
+            "dist.solve", strategy=config.strategy, workers=config.workers
+        ) as dist_span:
+            if config.strategy == "portfolio":
+                result = self._solve_portfolio(query, deadline)
+            elif config.workers == 1:
+                result = self._solve_sequential(query, deadline)
+            else:
+                result = self._solve_parallel(query, deadline)
+            result.stats.wall_seconds = time.perf_counter() - start
+            dist_span.set(
+                status=result.status.value,
+                cubes=len(result.stats.cubes),
+                resplits=result.stats.resplits,
+            )
+        registry = obs_metrics.process_metrics()
+        registry.inc("qed_cubes_total", len(result.stats.cubes))
+        if result.stats.resplits:
+            registry.inc("qed_resplits_total", result.stats.resplits)
         return result
 
     # ------------------------------------------------------------------
@@ -430,10 +447,17 @@ class WorkScheduler:
                 remaining = max(0, query.max_conflicts - spent)
                 budget = remaining if budget is None else min(budget, remaining)
             cube_start = time.perf_counter()
+            cube_span = obs_trace.span(
+                "dist.cube", depth=cube.depth, literals=len(cube.literals)
+            )
             result = solver.solve(
                 assumptions=query.assumptions + list(cube.literals),
                 max_conflicts=budget,
                 deadline=deadline,
+            )
+            cube_span.close(
+                verdict=result.status.value,
+                conflicts=result.stats.conflicts,
             )
             spent += result.stats.conflicts
             record = CubeStats(
@@ -473,6 +497,9 @@ class WorkScheduler:
                 pending.appendleft((right, False))
                 pending.appendleft((left, False))
                 stats.resplits += 1
+                obs_trace.event(
+                    "dist.resplit", depth=cube.depth, variable=variable
+                )
             elif query.max_conflicts is None:
                 # No global budget to respect and no split variable left:
                 # re-queue unbudgeted and solve the cube to completion.
@@ -710,6 +737,12 @@ class WorkScheduler:
                             tuple(right.literals), right.depth, budget, new=True
                         )
                         stats.resplits += 1
+                        obs_trace.event(
+                            "dist.resplit",
+                            depth=cube.depth,
+                            variable=variable,
+                            reason="crash",
+                        )
                         outstanding += 1
                     else:
                         # Same open cube instance, back on the queue:
@@ -718,6 +751,7 @@ class WorkScheduler:
                 if respawns >= max_respawns:
                     return False
                 respawns += 1
+                obs_trace.event("dist.worker_respawn", worker=worker_id)
                 spawn(worker_id)
             return True
 
@@ -756,7 +790,15 @@ class WorkScheduler:
                     exported,
                     config_name,
                     runtime,
+                    span_batch,
                 ) = message
+                # Worker span batches merge into the parent collector: the
+                # ids are pid-prefixed and their parents are spans this
+                # collector already holds (inherited across the fork), so
+                # the cube subtree lands under the open dist.solve span.
+                collector = obs_trace.active()
+                if collector is not None and span_batch is not None:
+                    collector.absorb(span_batch)
                 literals = tuple(literals)
                 key = (literals, depth)
                 if verdict != "sat" and open_cubes.get(key, 0) <= 0:
@@ -824,6 +866,12 @@ class WorkScheduler:
                             new=True,
                         )
                         stats.resplits += 1
+                        obs_trace.event(
+                            "dist.resplit",
+                            depth=depth,
+                            variable=variable,
+                            reason="budget",
+                        )
                         outstanding += 1
                     elif query.max_conflicts is None:
                         # Solve to completion (no budget).
@@ -895,6 +943,10 @@ def _pool_worker(  # fork-entry
     solve call.
     """
     deadline = None if expires_at is None else Deadline(expires_at=expires_at)
+    # The collector (if any) arrived through the fork memory snapshot with
+    # the parent's trace id and its open span stack -- this worker's spans
+    # parent under the span that was open at fork time (dist.solve).
+    collector = obs_trace.active()
     solver, reduction = personality.build_solver(
         query.clauses, query.num_vars, query.frozen
     )
@@ -905,6 +957,7 @@ def _pool_worker(  # fork-entry
             literals, depth, budget = tasks.get(timeout=0.05)
         except queue_module.Empty:
             continue
+        obs_mark = None if collector is None else collector.mark()
         if announce is not None:
             try:
                 announce.send(("taken", (literals, depth, budget)))
@@ -924,10 +977,16 @@ def _pool_worker(  # fork-entry
                 solver.add_clause(clause)
                 imported += 1
         cube_start = time.perf_counter()
+        cube_span = obs_trace.span(
+            "dist.cube", worker=worker_id, depth=depth, literals=len(literals)
+        )
         result = solver.solve(
             assumptions=query.assumptions + list(literals),
             max_conflicts=budget,
             deadline=deadline,
+        )
+        cube_span.close(
+            verdict=result.status.value, conflicts=result.stats.conflicts
         )
         exported = 0
         if inboxes is not None:
@@ -963,6 +1022,7 @@ def _pool_worker(  # fork-entry
                 exported,
                 personality.name,
                 time.perf_counter() - cube_start,
+                None if obs_mark is None else collector.batch_since(obs_mark),
             )
         )
         if announce is not None:

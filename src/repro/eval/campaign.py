@@ -37,6 +37,8 @@ from repro.analysis.netlist_lint import check_version_design
 from repro.deadline import Deadline
 from repro.dist.scheduler import SplitConfig
 from repro.isa.arch import ArchParams, TINY_PROFILE
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.indverif.crs import CRSConfig, ConstrainedRandomSim
 from repro.indverif.dst import default_directed_suite
 from repro.indverif.ocsfv import OCSFVChecker
@@ -412,51 +414,89 @@ def detect_bug(
     config = config or CampaignConfig()
     bug = bug_by_id(bug_id)
     version = _version_with_bug(bug.bug_id)
-    # Structural lint before any harness is built: a malformed version
-    # netlist (forged cycle, undriven net) would hang elaboration-side
-    # hashing or unrolling.  Memoized per (version, arch), so repeated
-    # jobs over the same version pay it once per process.
-    check_version_design(version, config.arch)
-    record = BugDetectionRecord(bug_id=bug.bug_id, version_name=version.name)
-
-    _run_qed_feature(bug, version, config, record, on_bound, deadline)
-
-    expired = deadline is not None and deadline.expired()
-    if expired:
-        record.deadline_expired = True
-        # A record that *skipped requested stages* must never pass for a
-        # complete measurement: it is marked non-definitive so the result
-        # cache can monotonically upgrade it from a later full run.  When
-        # nothing below was requested, the QED engine's own verdict
-        # stands -- a violation found before expiry is definitive SAT,
-        # and ``_run_qed_feature`` already downgraded any truncated
-        # search to non-definitive.
-        if config.run_industrial_flow or config.run_directed_tests:
-            record.qed_definitive = False
-    if config.run_industrial_flow and not expired:
-        crs = ConstrainedRandomSim(
-            version, arch=config.arch, config=config.crs_config
+    # Direct runs get their own trace context here; served jobs and
+    # campaign workers arrive with a collector already installed (the
+    # queue's per-job trace or the campaign's, inherited across fork) and
+    # must not tear it down.  Tracing never touches the record, so the
+    # BugDetectionRecord is byte-identical with observability on or off.
+    owned = obs_trace.active() is None
+    if owned:
+        obs_trace.start_trace()
+    job_span = obs_trace.span("detect_bug", bug_id=bug.bug_id)
+    try:
+        # Structural lint before any harness is built: a malformed version
+        # netlist (forged cycle, undriven net) would hang elaboration-side
+        # hashing or unrolling.  Memoized per (version, arch), so repeated
+        # jobs over the same version pay it once per process.
+        with obs_trace.span("detect.lint"):
+            check_version_design(version, config.arch)
+        record = BugDetectionRecord(
+            bug_id=bug.bug_id, version_name=version.name
         )
-        record.crs_detected = crs.run().detected_bug
-        ocsfv = OCSFVChecker(version, arch=config.arch)
-        focus = FOCUS_SETS[bug.bug_id]["opcodes"]
-        record.ocsfv_detected = ocsfv.check_all(
-            instructions=None
-            if config.exhaustive or focus is None
-            else list(focus)
-        ).detected_bug
-    if config.run_directed_tests and not expired:
-        suite = default_directed_suite(config.arch)
-        results = suite.run_all(version, with_extension=version.with_extension)
-        record.dst_detected = suite.detected_bug(results)
 
-    return record
+        with obs_trace.span("detect.qed"):
+            _run_qed_feature(bug, version, config, record, on_bound, deadline)
+
+        expired = deadline is not None and deadline.expired()
+        if expired:
+            record.deadline_expired = True
+            obs_trace.event("deadline.expired", scope="detect_bug")
+            obs_metrics.process_metrics().inc(
+                "qed_deadline_expiries_total", scope="detect_bug"
+            )
+            # A record that *skipped requested stages* must never pass for a
+            # complete measurement: it is marked non-definitive so the result
+            # cache can monotonically upgrade it from a later full run.  When
+            # nothing below was requested, the QED engine's own verdict
+            # stands -- a violation found before expiry is definitive SAT,
+            # and ``_run_qed_feature`` already downgraded any truncated
+            # search to non-definitive.
+            if config.run_industrial_flow or config.run_directed_tests:
+                record.qed_definitive = False
+        if config.run_industrial_flow and not expired:
+            with obs_trace.span("detect.industrial"):
+                crs = ConstrainedRandomSim(
+                    version, arch=config.arch, config=config.crs_config
+                )
+                record.crs_detected = crs.run().detected_bug
+                ocsfv = OCSFVChecker(version, arch=config.arch)
+                focus = FOCUS_SETS[bug.bug_id]["opcodes"]
+                record.ocsfv_detected = ocsfv.check_all(
+                    instructions=None
+                    if config.exhaustive or focus is None
+                    else list(focus)
+                ).detected_bug
+        if config.run_directed_tests and not expired:
+            with obs_trace.span("detect.directed"):
+                suite = default_directed_suite(config.arch)
+                results = suite.run_all(
+                    version, with_extension=version.with_extension
+                )
+                record.dst_detected = suite.detected_bug(results)
+
+        return record
+    finally:
+        job_span.close()
+        if owned:
+            obs_trace.clear()
 
 
-def _detect_bug_job(job: Tuple[str, CampaignConfig]) -> BugDetectionRecord:
-    """Pool entry point (top-level so it pickles)."""
+def _detect_bug_job(
+    job: Tuple[str, CampaignConfig]
+) -> Tuple[BugDetectionRecord, Optional[dict]]:
+    """Pool entry point (top-level so it pickles).
+
+    Returns the record plus the span batch this job recorded on the
+    collector inherited across the fork (``None`` when the parent ran
+    without tracing) -- the campaign's "progress pipe" is the pool's
+    return channel, so spans ride back with the result.
+    """
     bug_id, config = job
-    return detect_bug(bug_id, config)
+    collector = obs_trace.active()
+    obs_mark = None if collector is None else collector.mark()
+    record = detect_bug(bug_id, config)
+    batch = None if obs_mark is None else collector.batch_since(obs_mark)
+    return record, batch
 
 
 #: Format tag of the campaign journal's header line.
@@ -609,6 +649,16 @@ def run_campaign(
         faults.crash_point("eval.campaign.record")
 
     pending = [bug for bug in selected_bugs if bug.bug_id not in done]
+    # Campaign entry is a trace root for direct runs (the serving layer
+    # never reaches this path with a collector of its own installed).
+    # Fork-pool workers inherit the installed collector and ship their
+    # span batches back with each record.
+    owned = obs_trace.active() is None
+    if owned:
+        obs_trace.start_trace()
+    campaign_span = obs_trace.span(
+        "run_campaign", workers=workers, jobs=len(pending)
+    )
     try:
         if workers == 1 or len(pending) <= 1:
             for bug in pending:
@@ -630,12 +680,18 @@ def run_campaign(
                 # ``pool.map`` yields in submission order, so records are
                 # journaled in bug-selection order even when a later-
                 # submitted job finishes first.
-                for record in pool.map(_detect_bug_job, jobs):
+                for record, span_batch in pool.map(_detect_bug_job, jobs):
+                    collector = obs_trace.active()
+                    if collector is not None and span_batch is not None:
+                        collector.absorb(span_batch)
                     done[record.bug_id] = record
                     journal_record(record)
     finally:
         if journal is not None:
             journal.close()
+        campaign_span.close()
+        if owned:
+            obs_trace.clear()
 
     # Bug-selection order, resumed and fresh records interleaved exactly
     # where an uninterrupted run would have put them.

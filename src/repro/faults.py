@@ -54,6 +54,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.obs import trace as obs_trace
+
 __all__ = [
     "FaultError",
     "FaultSpec",
@@ -179,6 +181,13 @@ class FaultInjector:
             if spec.once and not self._claim_once_token(index, spec):
                 continue
             self.fired.append((site, spec.action, hit))
+            # Surface the firing on the active trace (if any) *before* the
+            # fault is applied -- a SIGKILL action never returns, so this
+            # event is often the flight recorder's last word on why a
+            # worker died.
+            obs_trace.event(
+                "fault.fired", site=site, action=spec.action, hit=hit
+            )
             out.append(spec)
         return out
 

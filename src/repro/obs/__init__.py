@@ -1,0 +1,73 @@
+"""Unified observability: tracing, fork-safe metrics, flight recorder.
+
+Stdlib-only and lock-free by design -- the whole package sits inside the
+fork-safety lint scope, because its module-global state (the active
+:class:`~repro.obs.trace.ObsCollector`, the process
+:class:`~repro.obs.metrics.MetricsRegistry`) is inherited by every forked
+cube/campaign/serve worker exactly like :data:`repro.faults._INJECTOR`.
+
+The three pieces:
+
+* :mod:`repro.obs.trace` -- trace contexts, spans, span events, the
+  server-side per-job :class:`~repro.obs.trace.TraceStore`;
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms with explicit
+  child-snapshot merge and Prometheus text rendering;
+* :mod:`repro.obs.flight` -- the failure flight recorder (JSON artifacts
+  for failed/quarantined/deadline-expired jobs).
+
+Instrumented layers use the module-level helpers (:func:`active`,
+:func:`span`, :func:`event`, :func:`process_metrics`): one global load
+and an ``is None`` branch when observability is off, nothing in
+``# hot-loop`` regions ever (solver counters are sampled at the existing
+per-call and per-bound boundaries only).
+"""
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    parse_prometheus,
+    process_metrics,
+    reset_process_metrics,
+)
+from repro.obs.trace import (
+    ObsCollector,
+    SpanHandle,
+    TraceContext,
+    TraceStore,
+    active,
+    clear,
+    enabled,
+    event,
+    install,
+    last_trace,
+    new_trace_id,
+    set_enabled,
+    span,
+    start_trace,
+    sum_self_seconds,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "MetricsRegistry",
+    "ObsCollector",
+    "SpanHandle",
+    "TraceContext",
+    "TraceStore",
+    "active",
+    "clear",
+    "diff_snapshots",
+    "enabled",
+    "event",
+    "install",
+    "last_trace",
+    "new_trace_id",
+    "parse_prometheus",
+    "process_metrics",
+    "reset_process_metrics",
+    "set_enabled",
+    "span",
+    "start_trace",
+    "sum_self_seconds",
+]

@@ -1,0 +1,86 @@
+"""Failure flight recorder: crash-dump JSON artifacts for bad job endings.
+
+A :class:`FlightRecorder` owns a directory and dumps one structured JSON
+artifact per job whenever the serve queue sees a terminal failure -- the
+job FAILed, was quarantined, or expired its deadline (queued or
+mid-solve).  The artifact bundles everything the in-memory trace store
+held for the job (spans, the bounded ring of recent span events, attempt
+history), so a postmortem never needs a re-run: the kill that burned a
+retry, the deadline poll that fired, the fault-injector site that tripped
+are all in the file.
+
+Writes are atomic (temp file + ``os.replace``) and best-effort: a full
+disk or unwritable directory increments ``write_errors`` instead of
+taking the queue down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+__all__ = ["FLIGHT_FORMAT", "FlightRecorder"]
+
+#: Version tag written into every artifact.
+FLIGHT_FORMAT = 1
+
+
+class FlightRecorder:
+    """Dump per-job flight records into *directory* (``None`` disables)."""
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self.directory = directory
+        self.dumps = 0
+        self.write_errors = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None
+
+    def dump(
+        self,
+        job_id: str,
+        *,
+        reason: str,
+        state: str,
+        trace: Optional[Dict[str, object]] = None,
+        error: Optional[str] = None,
+        attempts: int = 0,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Optional[str]:
+        """Write ``flight-<job_id>.json``; returns its path (or ``None``).
+
+        *reason* is the trigger (``failed`` / ``quarantined`` /
+        ``deadline_expired``), *trace* the trace store's JSON view of the
+        job at dump time.  Repeated dumps for the same job overwrite --
+        the final, most complete record wins.
+        """
+        if self.directory is None:
+            return None
+        payload: Dict[str, object] = {
+            "format": FLIGHT_FORMAT,
+            "job_id": job_id,
+            "reason": reason,
+            "state": state,
+            "error": error,
+            "attempts": attempts,
+            "dumped_at": time.time(),
+        }
+        if extra:
+            payload.update(extra)
+        payload["trace"] = trace or {}
+        path = os.path.join(self.directory, f"flight-{job_id}.json")
+        tmp_path = path + ".tmp"
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except OSError:
+            self.write_errors += 1
+            return None
+        self.dumps += 1
+        return path

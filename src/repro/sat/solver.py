@@ -106,6 +106,8 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.deadline import Deadline
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sat.cnf import CNF, Literal, var_of
 
 _UNASSIGNED = -1
@@ -1216,6 +1218,12 @@ class CDCLSolver:
         """
         entry = self._snapshot()
         call_max_level = 0
+        # Observability: one module-global load per call.  Span events
+        # (restarts, DB reductions, deadline polls) are recorded only at
+        # the cold branches below -- never inside the `# hot-loop`
+        # propagate/analyse regions -- and only when a collector is
+        # installed, so the disabled cost is a local `is None` test.
+        observer = obs_trace.active()
 
         # Reset to level 0: a previous call's assumption decisions and
         # partial trail must never leak into this query.
@@ -1269,6 +1277,11 @@ class CDCLSolver:
                     deadline_countdown -= 1
                     if deadline_countdown <= 0:
                         deadline_countdown = _DEADLINE_STRIDE
+                        if observer is not None:
+                            observer.event(
+                                "solver.deadline_poll",
+                                {"remaining": deadline.remaining()},
+                            )
                         if deadline.expired():
                             self._backjump(0)
                             return SolverResult(
@@ -1317,6 +1330,15 @@ class CDCLSolver:
                 conflicts_until_restart = self._restart_base * _luby(
                     restart_count
                 )
+                if observer is not None:
+                    observer.event(
+                        "solver.restart",
+                        {
+                            "conflicts": self.stats.conflicts - entry.conflicts,
+                            "next_interval": conflicts_until_restart,
+                        },
+                    )
+                obs_metrics.process_metrics().inc("qed_solver_restarts_total")
                 self._backjump(0)
                 if deadline is not None and deadline.expired():
                     return SolverResult(
@@ -1333,8 +1355,20 @@ class CDCLSolver:
                 self._num_learned_live > self._reduce_threshold
                 and not self._trail_lim
             ):
+                before_reduce = self._num_learned_live
                 self._reduce_learned()
                 self._reduce_threshold += 1000
+                if observer is not None:
+                    observer.event(
+                        "solver.db_reduce",
+                        {
+                            "before": before_reduce,
+                            "after": self._num_learned_live,
+                        },
+                    )
+                obs_metrics.process_metrics().inc(
+                    "qed_solver_db_reductions_total"
+                )
 
             # Apply pending assumptions as decisions.
             pending_assumption = -1
@@ -1383,6 +1417,11 @@ class CDCLSolver:
                 deadline_countdown -= 1
                 if deadline_countdown <= 0:
                     deadline_countdown = _DEADLINE_STRIDE
+                    if observer is not None:
+                        observer.event(
+                            "solver.deadline_poll",
+                            {"remaining": deadline.remaining()},
+                        )
                     if deadline.expired():
                         self._backjump(0)
                         return SolverResult(

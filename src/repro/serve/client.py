@@ -18,7 +18,7 @@ import http.client
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TypedDict, cast
 from urllib.parse import urlencode, urlsplit
 
 from repro import faults
@@ -29,7 +29,50 @@ from repro.eval.campaign import (
 )
 from repro.serve.keys import JobSpec
 
-__all__ = ["JobView", "ServeClient", "ServeError", "run_campaign_via_server"]
+__all__ = [
+    "JobView",
+    "QueueStats",
+    "ServeClient",
+    "ServeError",
+    "StatsPayload",
+    "run_campaign_via_server",
+]
+
+
+class QueueStats(TypedDict, total=False):
+    """Typed mirror of :meth:`repro.serve.queue.JobQueue.stats_dict`."""
+
+    workers: int
+    use_processes: bool
+    jobs_submitted: int
+    cache_hits: int
+    coalesced: int
+    executed: int
+    failed: int
+    cancelled: int
+    retried: int
+    pool_rebuilds: int
+    pool_broken: bool
+    deadline_expired: int
+    quarantined: int
+    quarantine_rejections: int
+    draining: bool
+    running: int
+    queued: int
+    jobs_tracked: int
+    queue_latency_seconds_total: float
+    queue_latency_jobs: int
+    traced_jobs: int
+    flight_dumps: int
+    flight_write_errors: int
+
+
+class StatsPayload(TypedDict, total=False):
+    """Typed mirror of ``GET /stats``."""
+
+    queue: QueueStats
+    cache: Optional[Dict[str, object]]
+    http: Dict[str, int]
 
 
 class ServeError(RuntimeError):
@@ -54,6 +97,7 @@ class JobView:
     progress: List[Dict[str, object]] = field(default_factory=list)
     progress_total: int = 0
     version: int = 0
+    trace_id: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -72,6 +116,11 @@ class JobView:
             progress=list(data.get("progress") or []),
             progress_total=int(data.get("progress_total", 0)),
             version=int(data.get("version", 0)),
+            trace_id=(
+                str(data["trace_id"])
+                if data.get("trace_id") is not None
+                else None
+            ),
         )
 
 
@@ -268,8 +317,49 @@ class ServeClient:
                 return None
             raise
 
-    def stats(self) -> Dict[str, object]:
-        return self._request("GET", "/stats")
+    def trace(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/<id>/trace``: the job's aggregated span tree."""
+        trace = self._request("GET", f"/jobs/{job_id}/trace")["trace"]
+        assert isinstance(trace, dict)
+        return trace
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition.
+
+        Parse with :func:`repro.obs.parse_prometheus` when counters are
+        needed as numbers.
+        """
+        last_error: Optional[ServeError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(min(self.retry_backoff * (2.0 ** (attempt - 1)), 2.0))
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                try:
+                    faults.crash_point("serve.client.request")
+                    connection.request("GET", "/metrics")
+                    response = connection.getresponse()
+                    raw = response.read()
+                except (OSError, http.client.HTTPException) as exc:
+                    last_error = ServeError(
+                        f"GET /metrics failed: {type(exc).__name__}: {exc}"
+                    )
+                    continue
+                if response.status >= 400:
+                    raise ServeError(
+                        f"GET /metrics -> {response.status}: {raw[:200]!r}",
+                        status=response.status,
+                    )
+                return raw.decode("utf-8")
+            finally:
+                connection.close()
+        assert last_error is not None
+        raise last_error
+
+    def stats(self) -> StatsPayload:
+        return cast(StatsPayload, self._request("GET", "/stats"))
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,20 @@ Fault tolerance
   let running solves finish, snapshot still-queued specs to a JSON-able
   dict that :meth:`JobQueue.restore_state` resubmits after a restart.
 
+Observability
+=============
+
+Every job owns a trace (:class:`repro.obs.trace.TraceStore` entry keyed by
+job id): the queue records its own spans (cache read/write, queue-wait,
+each dispatch attempt) and worker processes run under their own
+:class:`~repro.obs.trace.ObsCollector`, shipping completed spans and a
+process-metrics delta back through the existing progress pipe as a tagged
+``{"__obs__": ...}`` payload that :meth:`JobQueue._on_progress` diverts
+into the store (re-rooted under the attempt span) and the queue's
+:class:`~repro.obs.metrics.MetricsRegistry`.  Jobs that FAIL, are
+quarantined, or expire their deadline dump a flight-recorder JSON artifact
+(:class:`repro.obs.flight.FlightRecorder`) with the trace attached.
+
 ``use_processes=False`` swaps the process pool for threads -- same contract,
 no fork -- which in-process demos (``examples/serve_quickstart.py``) use.
 """
@@ -60,6 +74,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import faults
 from repro.deadline import Deadline
 from repro.eval.campaign import detect_bug, record_to_json_dict
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceStore
 from repro.serve.cache import ResultCache
 from repro.serve.keys import JobSpec
 
@@ -117,6 +136,12 @@ class Job:
     started_at: float = 0.0
     finished_at: float = 0.0
     cancel_requested: bool = False
+    #: Trace identity for ``GET /jobs/<id>/trace`` (None when tracing off).
+    trace_id: Optional[str] = None
+    #: Monotonic submit instant (queue-wait span start); not serialized.
+    _queued_mono: float = field(default=0.0, repr=False)
+    #: Open ``queue.attempt`` span worker batches re-root under.
+    _attempt_span_id: Optional[str] = field(default=None, repr=False)
     _event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     def to_json_dict(self, *, since: int = 0) -> Dict[str, object]:
@@ -143,6 +168,7 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "trace_id": self.trace_id,
         }
 
 
@@ -215,12 +241,29 @@ def execute_job_spec(  # fork-entry: dispatched via functools.partial
             if fate == "duplicate":
                 send(stats.to_json_dict())
 
-    record = detect_bug(
-        spec.bug_id,
-        config,
-        on_bound=on_bound,
-        deadline=Deadline.from_seconds(deadline_seconds),
-    )
+    # The job runs under its own collector (pool workers are long-lived,
+    # so a fork-inherited one would mix jobs); the queue re-roots the
+    # shipped batch under this dispatch's attempt span.  Metrics ship as
+    # a delta against the process registry so a reused worker never
+    # double-counts earlier jobs.
+    collector = obs_trace.start_trace()
+    metrics_mark = obs_metrics.process_metrics().snapshot()
+    try:
+        record = detect_bug(
+            spec.bug_id,
+            config,
+            on_bound=on_bound,
+            deadline=Deadline.from_seconds(deadline_seconds),
+        )
+    finally:
+        if collector is not None:
+            obs_trace.clear()
+            if send is not None:
+                batch = collector.batch_since((0, 0))
+                batch["metrics"] = obs_metrics.diff_snapshots(
+                    obs_metrics.process_metrics().snapshot(), metrics_mark
+                )
+                send({"__obs__": batch})
     return {
         "record": record_to_json_dict(record),
         "definitive": record.qed_definitive,
@@ -294,6 +337,7 @@ class JobQueue:
         max_retries: int = 2,
         retry_backoff_base: float = 0.05,
         retry_backoff_cap: float = 2.0,
+        flight_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -349,6 +393,15 @@ class JobQueue:
         self.quarantine_rejections = 0
         self.queue_latency_total = 0.0
         self.queue_latency_jobs = 0
+        # Observability: the queue-owned registry (what GET /metrics
+        # renders -- queue counters plus merged worker deltas), the
+        # per-job trace store, and the failure flight recorder.  The
+        # flight directory defaults to living next to the result cache.
+        self.metrics = MetricsRegistry()
+        self.traces = TraceStore()
+        if flight_dir is None and cache is not None and cache.directory:
+            flight_dir = os.path.join(cache.directory, "flight")
+        self.flight = FlightRecorder(flight_dir)
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -439,6 +492,25 @@ class JobQueue:
                 break  # loop closed; server is shutting down
 
     def _on_progress(self, job_id: str, stats: Dict[str, object]) -> None:
+        if isinstance(stats, dict) and "__obs__" in stats:
+            # Tagged observability payload, not a per-bound progress event:
+            # worker spans re-root under the dispatch attempt, the metrics
+            # delta merges into the queue registry.  Never shown to
+            # long-pollers (progress stays the per-bound stream).
+            payload = stats["__obs__"]
+            if isinstance(payload, dict):
+                job = self.jobs.get(job_id)
+                self.traces.absorb(
+                    job_id,
+                    payload,
+                    attach_to=(
+                        None if job is None else job._attempt_span_id
+                    ),
+                )
+                delta = payload.get("metrics")
+                if isinstance(delta, dict):
+                    self.metrics.merge(delta)
+            return
         job = self.jobs.get(job_id)
         if job is not None and not job.state.terminal:
             job.progress.append(stats)
@@ -462,6 +534,13 @@ class JobQueue:
 
     def _new_job_id(self) -> str:
         return f"job-{next(self._sequence):06d}"
+
+    def _trace_begin(self, job: Job) -> None:
+        """Mint the job's trace id and open its trace-store entry."""
+        if not obs_trace.enabled():
+            return
+        job.trace_id = obs_trace.new_trace_id()
+        self.traces.ensure(job.job_id, job.trace_id)
 
     # ------------------------------------------------------------------
     def submit(
@@ -496,11 +575,16 @@ class JobQueue:
         spec = spec.resolved()
         key = spec.cache_key()
         self.submitted += 1
+        self.metrics.inc("qed_jobs_submitted_total")
 
+        cache_read: Optional[Tuple[float, float]] = None
         if self.cache is not None and not force:
+            read_start = time.monotonic()
             entry = self.cache.get(key, fingerprint=spec.fingerprint)
+            cache_read = (read_start, time.monotonic())
             if entry is not None:
                 self.cache_hits += 1
+                self.metrics.inc("qed_cache_hits_total")
                 record = dict(entry.record)
                 record["served_from_cache"] = True
                 record["cache_key"] = key
@@ -519,8 +603,13 @@ class JobQueue:
                     version=1,
                 )
                 self.jobs[job.job_id] = job
+                self._trace_begin(job)
+                self.traces.add_span(
+                    job.job_id, "cache.read", *cache_read, hit=True
+                )
                 self._retire(job)
                 return job
+            self.metrics.inc("qed_cache_misses_total")
 
         quarantine = self.quarantined.get(key)
         if quarantine is not None:
@@ -528,6 +617,7 @@ class JobQueue:
                 del self.quarantined[key]  # operator override: try again
             else:
                 self.quarantine_rejections += 1
+                self.metrics.inc("qed_quarantine_rejections_total")
                 now = time.time()
                 job = Job(
                     job_id=self._new_job_id(),
@@ -546,6 +636,18 @@ class JobQueue:
                     version=1,
                 )
                 self.jobs[job.job_id] = job
+                self._trace_begin(job)
+                self.traces.add_event(
+                    job.job_id, "queue.quarantine_rejected", key=key
+                )
+                self.flight.dump(
+                    job.job_id,
+                    reason="quarantine_rejected",
+                    state=job.state.value,
+                    trace=self.traces.to_json_dict(job.job_id),
+                    error=job.error,
+                    extra={"quarantine": dict(quarantine)},
+                )
                 self._retire(job)
                 return job
 
@@ -553,6 +655,10 @@ class JobQueue:
         if existing is not None:
             existing.coalesced += 1
             self.coalesced += 1
+            self.metrics.inc("qed_jobs_coalesced_total")
+            self.traces.add_event(
+                existing.job_id, "queue.coalesced", priority=priority
+            )
             if priority > existing.priority and existing.state is JobState.QUEUED:
                 # The strongest waiter sets the pace: requeue higher.
                 existing.priority = priority
@@ -569,8 +675,12 @@ class JobQueue:
             priority=priority,
             deadline=Deadline.from_seconds(deadline_seconds),
             submitted_at=time.time(),
+            _queued_mono=time.monotonic(),
         )
         self.jobs[job.job_id] = job
+        self._trace_begin(job)
+        if cache_read is not None:
+            self.traces.add_span(job.job_id, "cache.read", *cache_read, hit=False)
         self._inflight[key] = job
         heapq.heappush(self._heap, (-priority, next(self._sequence), job.job_id))
         self._wake.set()
@@ -621,6 +731,12 @@ class JobQueue:
                 job.started_at = time.time()
                 self.queue_latency_total += job.started_at - job.submitted_at
                 self.queue_latency_jobs += 1
+                now_mono = time.monotonic()
+                wait = max(0.0, now_mono - job._queued_mono)
+                self.metrics.observe("qed_queue_wait_seconds", wait)
+                self.traces.add_span(
+                    job.job_id, "queue.wait", job._queued_mono, now_mono
+                )
                 self._running += 1
                 self._bump(job)
                 asyncio.create_task(self._run_job(job))
@@ -644,6 +760,15 @@ class JobQueue:
         job.state = JobState.DONE
         job.started_at = job.finished_at = time.time()
         self.deadline_expired += 1
+        self.metrics.inc("qed_deadline_expiries_total", scope="queue")
+        self.traces.add_event(job.job_id, "deadline.expired", scope="queued")
+        self.flight.dump(
+            job.job_id,
+            reason="deadline_expired",
+            state=job.state.value,
+            trace=self.traces.to_json_dict(job.job_id),
+            attempts=job.attempts,
+        )
         if self._inflight.get(job.cache_key) is job:
             del self._inflight[job.cache_key]
         self._retire(job)
@@ -652,6 +777,16 @@ class JobQueue:
     async def _run_job(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
         retry_delay: Optional[float] = None
+        # The attempt span opens *before* dispatch so the worker's shipped
+        # batch (which can arrive any time before the future resolves) has
+        # a live span to re-root under.
+        job._attempt_span_id = self.traces.add_span(
+            job.job_id,
+            "queue.attempt",
+            time.monotonic(),
+            None,
+            attempt=job.attempts + 1,
+        )
         try:
             executor = self._ensure_executor()
             spec_dict = job.spec.canonical_dict()
@@ -676,6 +811,7 @@ class JobQueue:
             record["cache_key"] = job.cache_key
             record.setdefault("served_from_cache", False)
             if self.cache is not None:
+                write_start = time.monotonic()
                 self.cache.put(
                     job.cache_key,
                     record,
@@ -683,10 +819,37 @@ class JobQueue:
                     definitive=bool(result.get("definitive", True)),
                     spec=job.spec.canonical_dict(),
                 )
+                self.traces.add_span(
+                    job.job_id, "cache.write", write_start, time.monotonic()
+                )
             job.record = record
             job.state = JobState.DONE
             self.executed += 1
+            self.metrics.inc("qed_jobs_executed_total")
+            self.traces.close_span(
+                job.job_id, job._attempt_span_id, time.monotonic(),
+                outcome="done",
+            )
+            if record.get("deadline_expired"):
+                # The worker's budget ran out mid-solve: an honest UNKNOWN,
+                # but still a deadline ending worth a flight record.
+                self.deadline_expired += 1
+                self.metrics.inc("qed_deadline_expiries_total", scope="worker")
+                self.traces.add_event(
+                    job.job_id, "deadline.expired", scope="running"
+                )
+                self.flight.dump(
+                    job.job_id,
+                    reason="deadline_expired",
+                    state=job.state.value,
+                    trace=self.traces.to_json_dict(job.job_id),
+                    attempts=job.attempts + 1,
+                )
         except Exception as exc:
+            self.traces.close_span(
+                job.job_id, job._attempt_span_id, time.monotonic(),
+                outcome=type(exc).__name__,
+            )
             retry_delay = self._job_failed(job, exc)
         finally:
             self._running -= 1
@@ -717,6 +880,7 @@ class JobQueue:
             self._discard_executor()
             self._pool_broken = True
             self.pool_rebuilds += 1
+            self.metrics.inc("qed_pool_rebuilds_total")
             job.attempts += 1
             if (
                 job.attempts <= self.max_retries
@@ -724,11 +888,21 @@ class JobQueue:
                 and not self._draining
             ):
                 self.retried += 1
-                job.state = JobState.QUEUED
-                return min(
+                self.metrics.inc("qed_job_retries_total")
+                delay = min(
                     self.retry_backoff_base * (2.0 ** (job.attempts - 1)),
                     self.retry_backoff_cap,
                 )
+                self.traces.add_event(
+                    job.job_id,
+                    "queue.retry",
+                    attempt=job.attempts,
+                    backoff_seconds=delay,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                job.state = JobState.QUEUED
+                job._queued_mono = time.monotonic()  # fresh queue-wait span
+                return delay
             self.quarantined[job.cache_key] = {
                 "reason": "worker_crash",
                 "error": f"{type(exc).__name__}: {exc}",
@@ -736,9 +910,26 @@ class JobQueue:
                 "bug_id": job.spec.bug_id,
                 "at": time.time(),
             }
+            self.metrics.inc("qed_quarantines_total")
+            self.traces.add_event(
+                job.job_id, "queue.quarantined", attempts=job.attempts
+            )
         job.error = f"{type(exc).__name__}: {exc}"
         job.state = JobState.FAILED
         self.failed += 1
+        self.metrics.inc("qed_jobs_failed_total")
+        self.flight.dump(
+            job.job_id,
+            reason=(
+                "quarantined"
+                if job.cache_key in self.quarantined
+                else "failed"
+            ),
+            state=JobState.FAILED.value,
+            trace=self.traces.to_json_dict(job.job_id),
+            error=job.error,
+            attempts=job.attempts,
+        )
         return None
 
     async def _requeue_after(self, job: Job, delay: float) -> None:
@@ -871,4 +1062,37 @@ class JobQueue:
             "jobs_tracked": len(self.jobs),
             "queue_latency_seconds_total": self.queue_latency_total,
             "queue_latency_jobs": self.queue_latency_jobs,
+            "traced_jobs": len(self.traces.job_ids()),
+            "flight_dumps": self.flight.dumps,
+            "flight_write_errors": self.flight.write_errors,
         }
+
+    def render_metrics(self) -> str:
+        """Prometheus text for ``GET /metrics``.
+
+        Counters accumulate as they happen (queue events inline, worker
+        deltas merged off the progress pipe); point-in-time state is
+        refreshed as gauges at scrape time, including the result cache's
+        own counters so the metrics endpoint and ``GET /stats`` agree.
+        """
+        queued = sum(
+            1 for job in self.jobs.values() if job.state is JobState.QUEUED
+        )
+        self.metrics.set_gauge("qed_queue_depth", float(queued))
+        self.metrics.set_gauge("qed_jobs_running", float(self._running))
+        self.metrics.set_gauge(
+            "qed_quarantined_keys", float(len(self.quarantined))
+        )
+        self.metrics.set_gauge(
+            "qed_queue_draining", 1.0 if self._draining else 0.0
+        )
+        self.metrics.set_gauge("qed_flight_dumps", float(self.flight.dumps))
+        if self.cache is not None:
+            cache_stats = self.cache.stats_dict()
+            for field_name in ("hits", "misses", "puts", "upgrades"):
+                value = cache_stats.get(field_name)
+                if isinstance(value, (int, float)):
+                    self.metrics.set_gauge(
+                        f"qed_result_cache_{field_name}", float(value)
+                    )
+        return self.metrics.render_prometheus()

@@ -22,9 +22,16 @@ Endpoints
     Cancel (queued jobs only; running solves finish and are cached).
 ``GET /results/<cache-key>``
     Raw cache entry for a content-addressed key, 404 when absent.
+``GET /jobs/<id>/trace``
+    The job's span tree (queue-side spans plus re-rooted worker batches)
+    as JSON -- the :class:`repro.obs.trace.TraceStore` view rendered by
+    ``scripts/trace_qed.py``.
 ``GET /stats``
     Queue + cache counters (input of
     :func:`repro.eval.report.serving_statistics`).
+``GET /metrics``
+    Prometheus text exposition: queue/cache/retry counters, solver work
+    counters merged up from worker processes, stage-seconds histograms.
 ``GET /healthz``
     Liveness + readiness probe: ``200`` with queue depth, pool liveness
     and cache-log writability when the service can take work, ``503``
@@ -42,6 +49,7 @@ import asyncio
 import json
 import os
 import threading
+import time
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -244,12 +252,19 @@ class QEDServer:
         return method, path, body
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self, writer: asyncio.StreamWriter, status: int, payload: object
     ) -> None:
-        data = json.dumps(payload).encode()
+        # A str payload is pre-rendered plain text (the Prometheus
+        # exposition of GET /metrics); everything else is a JSON body.
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: close\r\n\r\n"
         )
@@ -259,7 +274,7 @@ class QEDServer:
     # ------------------------------------------------------------------
     async def _route(
         self, method: str, target: str, body: Optional[dict]
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, object]:
         url = urlsplit(target)
         segments = [s for s in url.path.split("/") if s]
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
@@ -268,10 +283,20 @@ class QEDServer:
             return self._healthz()
         if segments == ["stats"] and method == "GET":
             return 200, self._stats()
+        if segments == ["metrics"] and method == "GET":
+            return 200, self.queue.render_metrics()
         if segments == ["jobs"]:
             if method != "POST":
                 return 405, {"error": "POST /jobs"}
             return await self._submit(body or {})
+        if (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "trace"
+        ):
+            if method != "GET":
+                return 405, {"error": "GET /jobs/<id>/trace"}
+            return self._get_trace(segments[1])
         if len(segments) == 2 and segments[0] == "jobs":
             if method == "GET":
                 return await self._get_job(segments[1], query)
@@ -319,6 +344,7 @@ class QEDServer:
         # Fingerprint resolution may elaborate a netlist (~100 ms on a
         # cold memo); both run off-loop so long-polls keep streaming.
         loop = asyncio.get_running_loop()
+        lint_start = time.monotonic()
         try:
             await loop.run_in_executor(None, _lint_spec_design, spec)
         except DesignLintError as exc:
@@ -326,10 +352,12 @@ class QEDServer:
             return 400, {"error": str(exc), "lint": exc.report.to_json_dict()}
         except (KeyError, ValueError) as exc:
             raise _BadRequest(f"invalid job spec: {exc}")
+        lint_end = time.monotonic()
         try:
             spec = await loop.run_in_executor(None, spec.resolved)
         except (KeyError, ValueError) as exc:
             raise _BadRequest(f"invalid job spec: {exc}")
+        resolve_end = time.monotonic()
         try:
             job = self.queue.submit(
                 spec,
@@ -340,6 +368,12 @@ class QEDServer:
         except QueueDraining as exc:
             self.requests_rejected += 1
             return 503, {"error": str(exc), "draining": True}
+        # The lint/resolve spans happen before the job exists, so they are
+        # captured here and recorded once its trace entry is open.
+        self.queue.traces.add_span(job.job_id, "serve.lint", lint_start, lint_end)
+        self.queue.traces.add_span(
+            job.job_id, "serve.resolve", lint_end, resolve_end
+        )
         return (200 if job.cache_hit else 202), {"job": job.to_json_dict()}
 
     async def _get_job(self, job_id: str, query: Dict[str, str]) -> Tuple[int, dict]:
@@ -358,6 +392,21 @@ class QEDServer:
         except ValueError:
             raise _BadRequest("progress_since must be an integer")
         return 200, {"job": job.to_json_dict(since=progress_since)}
+
+    def _get_trace(self, job_id: str) -> Tuple[int, dict]:
+        """``GET /jobs/<id>/trace``: the job's aggregated span tree."""
+        job = self.queue.jobs.get(job_id)
+        trace = self.queue.traces.to_json_dict(job_id)
+        if trace is None:
+            if job is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            return 404, {
+                "error": f"no trace recorded for {job_id!r} (tracing off?)"
+            }
+        if job is not None:
+            trace["state"] = job.state.value
+            trace["attempts"] = job.attempts
+        return 200, {"trace": trace}
 
     def _cancel_job(self, job_id: str) -> Tuple[int, dict]:
         try:

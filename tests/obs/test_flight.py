@@ -1,0 +1,61 @@
+"""Unit tests for the failure flight recorder."""
+
+import json
+import os
+
+from repro.obs.flight import FLIGHT_FORMAT, FlightRecorder
+
+
+class TestFlightRecorder:
+    def test_dump_writes_structured_artifact(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        assert recorder.enabled
+        path = recorder.dump(
+            "job-000007",
+            reason="quarantined",
+            state="failed",
+            trace={"trace_id": "t1", "spans": []},
+            error="BrokenProcessPool: boom",
+            attempts=3,
+            extra={"bug_id": "wrport_collision"},
+        )
+        assert path == str(tmp_path / "flight-job-000007.json")
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+        assert payload["format"] == FLIGHT_FORMAT
+        assert payload["reason"] == "quarantined"
+        assert payload["attempts"] == 3
+        assert payload["bug_id"] == "wrport_collision"
+        assert payload["trace"]["trace_id"] == "t1"
+        assert recorder.dumps == 1
+        assert not os.path.exists(path + ".tmp")
+
+    def test_repeat_dump_overwrites(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        recorder.dump("job-1", reason="failed", state="failed", attempts=1)
+        path = recorder.dump("job-1", reason="failed", state="failed", attempts=2)
+        with open(path, "r", encoding="utf-8") as stream:
+            assert json.load(stream)["attempts"] == 2
+        assert recorder.dumps == 2
+
+    def test_disabled_recorder_is_a_noop(self):
+        recorder = FlightRecorder(None)
+        assert not recorder.enabled
+        assert recorder.dump("job-1", reason="failed", state="failed") is None
+        assert recorder.dumps == 0
+
+    def test_unwritable_directory_counts_not_raises(self, tmp_path):
+        target = tmp_path / "denied"
+        target.mkdir()
+        target.chmod(0o500)
+        recorder = FlightRecorder(str(target))
+        try:
+            path = recorder.dump("job-1", reason="failed", state="failed")
+        finally:
+            target.chmod(0o700)
+        if os.getuid() == 0:
+            # root ignores mode bits; the write goes through.
+            assert path is not None
+        else:
+            assert path is None
+            assert recorder.write_errors == 1

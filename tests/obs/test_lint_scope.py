@@ -1,0 +1,46 @@
+"""Static-lint regression coverage for the instrumented code paths.
+
+The observability layer records from inside forked workers, so the whole
+``repro.obs`` package sits in the fork-safety lint scope; and the solver
+instrumentation must never touch a ``# hot-loop`` region -- both enforced
+here so a future edit cannot silently regress them.
+"""
+
+import glob
+import os
+
+from repro.analysis.code_lint import lint_file, lint_fork_safety
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _src(*parts):
+    return os.path.join(REPO_ROOT, "src", "repro", *parts)
+
+
+class TestHotLoopStaysClean:
+    def test_instrumented_solver_passes_hot_loop_lint(self):
+        # The CDCL solver carries observer events on its cold branches
+        # (restart, DB reduce, deadline polls); its ``# hot-loop`` regions
+        # (_propagate, _lit_redundant) must stay allocation- and call-free.
+        report = lint_file(_src("sat", "solver.py"))
+        assert report.ok, [f.message for f in report.errors]
+
+    def test_instrumented_engine_and_scheduler_pass(self):
+        for path in (_src("bmc", "engine.py"), _src("dist", "scheduler.py")):
+            report = lint_file(path)
+            assert report.ok, (path, [f.message for f in report.errors])
+
+
+class TestObsInForkScope:
+    def test_obs_package_passes_fork_safety_lint(self):
+        paths = sorted(glob.glob(_src("obs", "*.py")))
+        assert paths, "obs package not found"
+        report = lint_fork_safety(paths)
+        assert report.ok, [f.message for f in report.errors]
+
+    def test_lint_script_includes_obs_in_fork_globs(self):
+        script = os.path.join(REPO_ROOT, "scripts", "lint_repro.py")
+        with open(script, "r", encoding="utf-8") as stream:
+            text = stream.read()
+        assert "src/repro/obs/*.py" in text
