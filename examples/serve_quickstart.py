@@ -67,6 +67,15 @@ def main() -> None:
                 f"(trace id {trace['trace_id']})"
             )
 
+            # Solver heartbeats (conflicts, propagations/s, trail depth,
+            # restart cadence) stream up from the search's cold branches
+            # while a job runs; scripts/dashboard_qed.py renders them live.
+            telemetry = client.telemetry(first.job_id)
+            print(f"telemetry: {url}/jobs/{first.job_id}/telemetry")
+            print(
+                f"           {telemetry['total']} heartbeats recorded"
+            )
+
 
 if __name__ == "__main__":
     main()

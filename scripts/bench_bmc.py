@@ -16,6 +16,18 @@ benchmarked too -- cold/warm campaign passes plus p50/p99 warm-hit latency
 noise).  ``--profile-out`` additionally dumps cProfile
 stats of the dense depth run for profile-guided follow-up work.
 
+Every invocation also appends a one-line summary (commit hash, whether
+observability was live, per-run wall-clock/pps/frames) to
+``BENCH_history.jsonl`` at the repo root, giving each ``BENCH_bmc.json``
+snapshot an attributable trajectory.  ``--check`` reads that history for
+*trend detection*: a run whose propagation throughput declined
+monotonically across the last ``TREND_WINDOW`` entries fails the gate even
+when every individual step clears the 0.6x floor -- slow rot compounds.
+``scripts/dashboard_qed.py`` renders the same history as a live
+trajectory.  ``--telemetry`` installs a live
+:class:`repro.obs.telemetry.TelemetrySink` first, so the gated numbers
+measure the heartbeat-sampling overhead.
+
 Profiles::
 
     counter  -- synthetic counter designs only (seconds; no QED harness)
@@ -48,16 +60,20 @@ import argparse
 import json
 import math
 import os
+import subprocess
 import sys
 import time
 from typing import Dict, List, Optional
 
 from repro.bmc import BMCProblem, BMCResult, BoundedModelChecker, SafetyProperty
 from repro.expr import BVConst, BVVar, mux
+from repro.obs import telemetry as obs_telemetry
+from repro.obs import trace as obs_trace
 from repro.rtl import Circuit, elaborate
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_JSON_OUT = os.path.join(REPO_ROOT, "BENCH_bmc.json")
+DEFAULT_HISTORY_OUT = os.path.join(REPO_ROOT, "BENCH_history.jsonl")
 
 #: A fresh run may be at most this many times slower than the baseline
 #: before ``--check`` fails (CI machines are noisy; 2x is the contract).
@@ -81,6 +97,15 @@ PPS_MIN_SOLVE_SECONDS = 0.5
 SERVE_REGRESSION_FACTOR = 4.0
 #: Warm cache hits sampled for the ``serve/warm_hit`` percentile run.
 WARM_HIT_SAMPLES = 20
+#: Consecutive runs (history entries plus the fresh one) a run's
+#: ``propagations_per_second`` must decline across before the trend gate
+#: fails.  Catches slow rot: K steps each comfortably above the
+#: :data:`PPS_REGRESSION_FLOOR` still compound into a real regression.
+TREND_WINDOW = 4
+#: A step only counts toward the trend when the fresh pps is below this
+#: fraction of the previous one -- strict monotonicity alone would trip on
+#: wall-clock noise roughly one CI run in eight.
+TREND_STEP_TOLERANCE = 0.95
 
 
 def _bound_stats_rows(result: BMCResult) -> List[Dict[str, object]]:
@@ -388,6 +413,125 @@ def run_via_server_bench(workers: int = 1) -> List[Dict[str, object]]:
     return runs
 
 
+def _git_commit() -> str:
+    """The repo HEAD (short hash) for report attribution, or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", REPO_ROOT, "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def history_entry(report: Dict[str, object]) -> Dict[str, object]:
+    """Compact one-line JSONL entry summarising *report* for the history."""
+    runs: Dict[str, object] = {}
+    for run in report["runs"]:  # type: ignore[union-attr]
+        runs[str(run["name"])] = {
+            "status": run.get("status"),
+            "runtime_seconds": run.get("runtime_seconds", 0.0),
+            "solve_seconds": run.get("solve_seconds", 0.0),
+            "propagations_per_second": run.get(
+                "propagations_per_second", 0.0
+            ),
+            "frames_proven": run.get("frames_proven", 0),
+        }
+    return {
+        "t": round(time.time(), 3),
+        "commit": report.get("commit", "unknown"),
+        "profile": report.get("profile"),
+        "obs_enabled": report.get("obs_enabled", False),
+        "runs": runs,
+    }
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Parse ``BENCH_history.jsonl``, skipping blank/corrupt lines."""
+    entries: List[Dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict):
+                    entries.append(entry)
+    except OSError:
+        return []
+    return entries
+
+
+def append_history(path: str, entry: Dict[str, object]) -> None:
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def check_trend(
+    report: Dict[str, object],
+    history: List[Dict[str, object]],
+    window: int = TREND_WINDOW,
+) -> List[str]:
+    """Fail on a *window*-run monotonic pps decline ending at *report*.
+
+    The single-baseline floor in :func:`check_regression` only sees one
+    step back; a run losing a steady few percent per PR sails under it
+    forever.  This gate walks the history (*history* holds the entries
+    written **before** this run) and fails when the last *window* pps
+    points -- history tail plus the fresh run -- each dropped below
+    :data:`TREND_STEP_TOLERANCE` of the previous one.  Only runs that
+    solved for at least :data:`PPS_MIN_SOLVE_SECONDS` in every considered
+    entry participate (same eligibility as the floor gate); a gap or an
+    ineligible entry breaks the streak.
+    """
+    failures: List[str] = []
+    for run in report["runs"]:  # type: ignore[union-attr]
+        name = str(run["name"])
+        pps = float(run.get("propagations_per_second", 0.0) or 0.0)
+        solve = float(run.get("solve_seconds", 0.0) or 0.0)
+        if pps <= 0.0 or solve < PPS_MIN_SOLVE_SECONDS:
+            continue
+        series: List[float] = []
+        for entry in reversed(history):
+            runs = entry.get("runs")
+            past = runs.get(name) if isinstance(runs, dict) else None
+            if not isinstance(past, dict):
+                break
+            past_pps = float(past.get("propagations_per_second", 0.0) or 0.0)
+            past_solve = float(past.get("solve_seconds", 0.0) or 0.0)
+            if past_pps <= 0.0 or past_solve < PPS_MIN_SOLVE_SECONDS:
+                break
+            series.append(past_pps)
+            if len(series) == window - 1:
+                break
+        if len(series) < window - 1:
+            continue
+        series.reverse()
+        series.append(pps)
+        declining = all(
+            series[i + 1] < TREND_STEP_TOLERANCE * series[i]
+            for i in range(len(series) - 1)
+        )
+        if declining:
+            trajectory = " -> ".join(f"{point:.0f}" for point in series)
+            failures.append(
+                f"{name}: propagations_per_second declined {window} runs "
+                f"in a row ({trajectory}); each step clears the "
+                f"{PPS_REGRESSION_FLOOR:g}x floor but the trend compounds "
+                f"to {series[-1] / series[0]:.2f}x of {window} runs ago"
+            )
+    return failures
+
+
 def check_regression(
     report: Dict[str, object],
     baseline: Dict[str, object],
@@ -524,12 +668,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default: BENCH_bmc.json at the repo root)",
     )
     parser.add_argument(
+        "--history-out", metavar="PATH", default=DEFAULT_HISTORY_OUT,
+        help="append a one-line summary of this run to this JSONL history "
+        "(default: BENCH_history.jsonl at the repo root); --check reads "
+        "the prior entries for trend detection and the dashboard renders "
+        "the trajectory",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the history file (trend detection "
+        "still runs against the existing entries when --check is given)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="run with a live TelemetrySink installed so the report (and "
+        "the pps gates) measure the heartbeat-sampling overhead",
+    )
+    parser.add_argument(
         "--check", metavar="BASELINE", default=None,
         help="compare against a baseline BENCH_bmc.json and exit non-zero "
         f"on a >{REGRESSION_FACTOR:g}x wall-clock regression "
         f"({SERVE_REGRESSION_FACTOR:g}x for serve/* runs), a "
-        "frames_proven decrease, or a propagations_per_second drop below "
-        f"{PPS_REGRESSION_FLOOR:g}x of the baseline",
+        "frames_proven decrease, a propagations_per_second drop below "
+        f"{PPS_REGRESSION_FLOOR:g}x of the baseline, or a "
+        f"{TREND_WINDOW}-run monotonic pps decline in the history",
     )
     parser.add_argument(
         "--profile-out", metavar="PATH", default=None,
@@ -545,6 +707,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.check:
         with open(args.check, "r", encoding="utf-8") as stream:
             baseline = json.load(stream)
+
+    if args.telemetry:
+        obs_telemetry.install()
 
     profiler = None
     if args.profile_out:
@@ -579,7 +744,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
 
-    report = {"profile": args.profile, "runs": runs}
+    obs_enabled = (
+        obs_telemetry.active() is not None or obs_trace.active() is not None
+    )
+    report = {
+        "profile": args.profile,
+        "commit": _git_commit(),
+        "obs_enabled": obs_enabled,
+        "runs": runs,
+    }
     text = json.dumps(report, indent=2)
     if args.json_out == "-":
         print(text)
@@ -588,8 +761,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             stream.write(text + "\n")
         print(f"wrote {args.json_out} ({len(runs)} runs)")
 
+    # The history is read BEFORE this run is appended so the trend gate
+    # compares the fresh numbers against strictly prior entries.
+    history = load_history(args.history_out)
+    if not args.no_history:
+        try:
+            append_history(args.history_out, history_entry(report))
+            print(
+                f"appended {args.history_out} "
+                f"(entry {len(history) + 1}, commit {report['commit']})"
+            )
+        except OSError as exc:
+            print(f"history append failed: {exc}", file=sys.stderr)
+
     if baseline is not None:
         failures, compared = check_regression(report, baseline, args.check)
+        failures.extend(check_trend(report, history))
         if failures:
             print("PERFORMANCE REGRESSION:", file=sys.stderr)
             for failure in failures:

@@ -60,6 +60,7 @@ from repro import faults
 from repro.deadline import Deadline
 from repro.dist.cubes import Cube, split_cube
 from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.dist.portfolio import (
     DIVERSE_CONFIGS,
@@ -791,6 +792,7 @@ class WorkScheduler:
                     config_name,
                     runtime,
                     span_batch,
+                    telemetry_batch,
                 ) = message
                 # Worker span batches merge into the parent collector: the
                 # ids are pid-prefixed and their parents are spans this
@@ -799,6 +801,11 @@ class WorkScheduler:
                 collector = obs_trace.active()
                 if collector is not None and span_batch is not None:
                     collector.absorb(span_batch)
+                # Worker heartbeats merge the same way (pid-tagged); the
+                # parent sink's flush callback then ships them onward.
+                sink = obs_telemetry.active()
+                if sink is not None and telemetry_batch:
+                    sink.absorb(telemetry_batch)
                 literals = tuple(literals)
                 key = (literals, depth)
                 if verdict != "sat" and open_cubes.get(key, 0) <= 0:
@@ -947,6 +954,13 @@ def _pool_worker(  # fork-entry
     # the parent's trace id and its open span stack -- this worker's spans
     # parent under the span that was open at fork time (dist.solve).
     collector = obs_trace.active()
+    # Same for the telemetry sink: heartbeats recorded here ship home with
+    # each cube result, so the fork-inherited flush callback is detached
+    # to keep a heartbeat from travelling both channels.
+    telemetry = obs_telemetry.active()
+    if telemetry is not None:
+        telemetry.detach_flush()
+        telemetry.set_context(worker=worker_id)
     solver, reduction = personality.build_solver(
         query.clauses, query.num_vars, query.frozen
     )
@@ -958,6 +972,7 @@ def _pool_worker(  # fork-entry
         except queue_module.Empty:
             continue
         obs_mark = None if collector is None else collector.mark()
+        telemetry_mark = None if telemetry is None else telemetry.mark()
         if announce is not None:
             try:
                 announce.send(("taken", (literals, depth, budget)))
@@ -1023,6 +1038,9 @@ def _pool_worker(  # fork-entry
                 personality.name,
                 time.perf_counter() - cube_start,
                 None if obs_mark is None else collector.batch_since(obs_mark),
+                None
+                if telemetry_mark is None
+                else telemetry.batch_since(telemetry_mark),
             )
         )
         if announce is not None:

@@ -1,25 +1,31 @@
-"""Unified observability: tracing, fork-safe metrics, flight recorder.
+"""Unified observability: tracing, fork-safe metrics, telemetry, flight.
 
 Stdlib-only and lock-free by design -- the whole package sits inside the
 fork-safety lint scope, because its module-global state (the active
 :class:`~repro.obs.trace.ObsCollector`, the process
-:class:`~repro.obs.metrics.MetricsRegistry`) is inherited by every forked
+:class:`~repro.obs.metrics.MetricsRegistry`, the installed
+:class:`~repro.obs.telemetry.TelemetrySink`) is inherited by every forked
 cube/campaign/serve worker exactly like :data:`repro.faults._INJECTOR`.
 
-The three pieces:
+The four pieces:
 
 * :mod:`repro.obs.trace` -- trace contexts, spans, span events, the
   server-side per-job :class:`~repro.obs.trace.TraceStore`;
 * :mod:`repro.obs.metrics` -- counters/gauges/histograms with explicit
   child-snapshot merge and Prometheus text rendering;
-* :mod:`repro.obs.flight` -- the failure flight recorder (JSON artifacts
-  for failed/quarantined/deadline-expired jobs).
+* :mod:`repro.obs.telemetry` -- live solver search heartbeats (conflicts,
+  propagations/s, trail depth, LBD histogram, restart cadence) sampled
+  off the solver's cold branches and streamed up to
+  ``GET /jobs/<id>/telemetry``;
+* :mod:`repro.obs.flight` -- the failure flight recorder (bounded JSON
+  artifacts for failed/quarantined/deadline-expired jobs).
 
 Instrumented layers use the module-level helpers (:func:`active`,
-:func:`span`, :func:`event`, :func:`process_metrics`): one global load
-and an ``is None`` branch when observability is off, nothing in
-``# hot-loop`` regions ever (solver counters are sampled at the existing
-per-call and per-bound boundaries only).
+:func:`span`, :func:`event`, :func:`process_metrics`,
+:func:`telemetry_active`): one global load and an ``is None`` branch when
+observability is off, nothing in ``# hot-loop`` regions ever (solver
+counters are sampled at the existing per-call, per-bound and cold-branch
+boundaries only).
 """
 
 from repro.obs.flight import FlightRecorder
@@ -29,6 +35,14 @@ from repro.obs.metrics import (
     parse_prometheus,
     process_metrics,
     reset_process_metrics,
+)
+from repro.obs.telemetry import (
+    TelemetrySink,
+    active as telemetry_active,
+    clear as clear_telemetry,
+    enabled as telemetry_enabled,
+    install as install_telemetry,
+    set_enabled as set_telemetry_enabled,
 )
 from repro.obs.trace import (
     ObsCollector,
@@ -53,21 +67,27 @@ __all__ = [
     "MetricsRegistry",
     "ObsCollector",
     "SpanHandle",
+    "TelemetrySink",
     "TraceContext",
     "TraceStore",
     "active",
     "clear",
+    "clear_telemetry",
     "diff_snapshots",
     "enabled",
     "event",
     "install",
+    "install_telemetry",
     "last_trace",
     "new_trace_id",
     "parse_prometheus",
     "process_metrics",
     "reset_process_metrics",
     "set_enabled",
+    "set_telemetry_enabled",
     "span",
     "start_trace",
     "sum_self_seconds",
+    "telemetry_active",
+    "telemetry_enabled",
 ]

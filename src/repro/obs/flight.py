@@ -11,7 +11,11 @@ are all in the file.
 
 Writes are atomic (temp file + ``os.replace``) and best-effort: a full
 disk or unwritable directory increments ``write_errors`` instead of
-taking the queue down with it.
+taking the queue down with it.  The directory is bounded: once it holds
+more than ``max_files`` flight records, the oldest (by mtime) are evicted
+after each successful dump and counted in ``evictions`` -- a long-lived
+server with a recurring failure mode keeps the freshest postmortems
+instead of filling the disk.
 """
 
 from __future__ import annotations
@@ -19,21 +23,30 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["FLIGHT_FORMAT", "FlightRecorder"]
+__all__ = ["DEFAULT_MAX_FILES", "FLIGHT_FORMAT", "FlightRecorder"]
 
 #: Version tag written into every artifact.
 FLIGHT_FORMAT = 1
+
+#: Flight records kept per directory before oldest-mtime eviction.
+DEFAULT_MAX_FILES = 64
 
 
 class FlightRecorder:
     """Dump per-job flight records into *directory* (``None`` disables)."""
 
-    def __init__(self, directory: Optional[str]) -> None:
+    def __init__(
+        self, directory: Optional[str], *, max_files: int = DEFAULT_MAX_FILES
+    ) -> None:
+        if max_files < 1:
+            raise ValueError("max_files must be at least 1")
         self.directory = directory
+        self.max_files = max_files
         self.dumps = 0
         self.write_errors = 0
+        self.evictions = 0
 
     @property
     def enabled(self) -> bool:
@@ -83,4 +96,43 @@ class FlightRecorder:
             self.write_errors += 1
             return None
         self.dumps += 1
+        self._evict(keep=path)
         return path
+
+    def _evict(self, *, keep: str) -> None:
+        """Drop the oldest flight records beyond ``max_files``.
+
+        Best-effort like the writes: listing or unlink errors are
+        swallowed (a record another process already removed, a permission
+        hiccup) -- eviction runs again after the next dump.  The record
+        just written (*keep*) is never evicted, even under mtime ties.
+        """
+        directory = self.directory
+        if directory is None:
+            return
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return
+        records: List[Tuple[float, str]] = []
+        for name in names:
+            if not (name.startswith("flight-") and name.endswith(".json")):
+                continue
+            path = os.path.join(directory, name)
+            if path == keep:
+                continue
+            try:
+                records.append((os.path.getmtime(path), path))
+            except OSError:
+                continue
+        # The just-written record occupies one slot.
+        excess = len(records) + 1 - self.max_files
+        if excess <= 0:
+            return
+        records.sort()
+        for _, path in records[:excess]:
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            self.evictions += 1

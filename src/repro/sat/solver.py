@@ -107,6 +107,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.deadline import Deadline
 from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.sat.cnf import CNF, Literal, var_of
 
@@ -1182,6 +1183,57 @@ class CDCLSolver:
             max_decision_level=stats.max_decision_level,
         )
 
+    def _lbd_histogram(self) -> Dict[int, int]:
+        """LBD distribution of the live learned clauses.
+
+        One linear arena walk -- cold-path only: sampled into telemetry
+        heartbeats at restart/DB-reduce branches, which already do
+        comparable linear work, never at the per-conflict poll sites.
+        """
+        arena = self._arena
+        top = len(arena)
+        histogram: Dict[int, int] = {}
+        offset = 0
+        while offset < top:
+            if arena[offset + 1] & _F_LEARNED:
+                lbd = arena[offset + 2]
+                histogram[lbd] = histogram.get(lbd, 0) + 1
+            offset += _HDR + arena[offset]
+        return histogram
+
+    def _sample_heartbeat(
+        self,
+        sink: obs_telemetry.TelemetrySink,
+        site: str,
+        *,
+        restart_interval: Optional[int] = None,
+        with_lbd: bool = False,
+    ) -> None:
+        """Record one telemetry heartbeat from read-only search state.
+
+        Counters are the instance's lifetime totals (monotone across
+        incremental solve calls on a reused solver); nothing here feeds
+        back into the search, so the verdict/model/stats of a solve are
+        byte-identical with telemetry on or off.
+        """
+        stats = self.stats
+        fields: Dict[str, object] = {
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "restarts": stats.restarts,
+            "learned": stats.learned_clauses,
+            "trail_depth": len(self._trail),
+            "decision_level": len(self._trail_lim),
+            "learned_live": self._num_learned_live,
+            "arena_len": len(self._arena),
+        }
+        if restart_interval is not None:
+            fields["restart_interval"] = restart_interval
+        if with_lbd:
+            fields["lbd_hist"] = self._lbd_histogram()
+        sink.record(site, **fields)
+
     def _call_stats(self, entry: SolverStats, call_max_level: int) -> SolverStats:
         stats = self.stats
         stats.max_decision_level = max(stats.max_decision_level, call_max_level)
@@ -1224,6 +1276,9 @@ class CDCLSolver:
         # propagate/analyse regions -- and only when a collector is
         # installed, so the disabled cost is a local `is None` test.
         observer = obs_trace.active()
+        # Telemetry heartbeats follow the same contract: sampled only at
+        # the cold branches below, read-only, rate-limited by the sink.
+        telemetry = obs_telemetry.active()
 
         # Reset to level 0: a previous call's assumption decisions and
         # partial trail must never leak into this query.
@@ -1282,6 +1337,8 @@ class CDCLSolver:
                                 "solver.deadline_poll",
                                 {"remaining": deadline.remaining()},
                             )
+                        if telemetry is not None and telemetry.due():
+                            self._sample_heartbeat(telemetry, "deadline_poll")
                         if deadline.expired():
                             self._backjump(0)
                             return SolverResult(
@@ -1339,6 +1396,15 @@ class CDCLSolver:
                         },
                     )
                 obs_metrics.process_metrics().inc("qed_solver_restarts_total")
+                if telemetry is not None and telemetry.due():
+                    # Sampled before the backjump so trail depth and
+                    # decision level describe the search being abandoned.
+                    self._sample_heartbeat(
+                        telemetry,
+                        "restart",
+                        restart_interval=conflicts_until_restart,
+                        with_lbd=True,
+                    )
                 self._backjump(0)
                 if deadline is not None and deadline.expired():
                     return SolverResult(
@@ -1369,6 +1435,8 @@ class CDCLSolver:
                 obs_metrics.process_metrics().inc(
                     "qed_solver_db_reductions_total"
                 )
+                if telemetry is not None and telemetry.due():
+                    self._sample_heartbeat(telemetry, "db_reduce", with_lbd=True)
 
             # Apply pending assumptions as decisions.
             pending_assumption = -1
@@ -1422,6 +1490,8 @@ class CDCLSolver:
                             "solver.deadline_poll",
                             {"remaining": deadline.remaining()},
                         )
+                    if telemetry is not None and telemetry.due():
+                        self._sample_heartbeat(telemetry, "deadline_poll")
                     if deadline.expired():
                         self._backjump(0)
                         return SolverResult(

@@ -65,6 +65,7 @@ class QueueStats(TypedDict, total=False):
     traced_jobs: int
     flight_dumps: int
     flight_write_errors: int
+    flight_evictions: int
 
 
 class StatsPayload(TypedDict, total=False):
@@ -322,6 +323,25 @@ class ServeClient:
         trace = self._request("GET", f"/jobs/{job_id}/trace")["trace"]
         assert isinstance(trace, dict)
         return trace
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """``GET /jobs``: compact per-job summaries (oldest first)."""
+        jobs = self._request("GET", "/jobs")["jobs"]
+        assert isinstance(jobs, list)
+        return jobs
+
+    def telemetry(self, job_id: str, *, since: int = 0) -> Dict[str, object]:
+        """``GET /jobs/<id>/telemetry``: live solver heartbeats.
+
+        Pass the ``total`` of the previous payload as ``since`` to receive
+        only newer heartbeats (the server keeps a bounded ring per job).
+        """
+        path = f"/jobs/{job_id}/telemetry"
+        if since:
+            path += f"?since={since}"
+        telemetry = self._request("GET", path)["telemetry"]
+        assert isinstance(telemetry, dict)
+        return telemetry
 
     def metrics_text(self) -> str:
         """``GET /metrics``: the raw Prometheus text exposition.

@@ -75,6 +75,7 @@ from repro import faults
 from repro.deadline import Deadline
 from repro.eval.campaign import detect_bug, record_to_json_dict
 from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
@@ -89,6 +90,11 @@ __all__ = [
     "QueueDraining",
     "execute_job_spec",
 ]
+
+
+#: Telemetry heartbeats retained per job (older ones fall off the ring;
+#: ``GET /jobs/<id>/telemetry`` reports how many were dropped).
+TELEMETRY_RING = 256
 
 
 class QueueDraining(RuntimeError):
@@ -138,6 +144,10 @@ class Job:
     cancel_requested: bool = False
     #: Trace identity for ``GET /jobs/<id>/trace`` (None when tracing off).
     trace_id: Optional[str] = None
+    #: Recent solver heartbeats (bounded ring; ``GET /jobs/<id>/telemetry``).
+    telemetry: List[Dict[str, object]] = field(default_factory=list)
+    #: Heartbeats ever received -- the ring-index base for ``since`` queries.
+    telemetry_total: int = 0
     #: Monotonic submit instant (queue-wait span start); not serialized.
     _queued_mono: float = field(default=0.0, repr=False)
     #: Open ``queue.attempt`` span worker batches re-root under.
@@ -248,6 +258,21 @@ def execute_job_spec(  # fork-entry: dispatched via functools.partial
     # double-counts earlier jobs.
     collector = obs_trace.start_trace()
     metrics_mark = obs_metrics.process_metrics().snapshot()
+    # Telemetry heartbeats ship *while* the solve runs (tagged
+    # ``__telemetry__``, riding the same progress pipe as ``__obs__``),
+    # which is what makes GET /jobs/<id>/telemetry live rather than a
+    # post-mortem.  A fresh per-job sink for the same reason as the
+    # collector: a fork-inherited one would mix jobs.
+    telemetry_sink = None
+    if send is not None and obs_telemetry.enabled():
+        shipper = send
+
+        def _ship_heartbeats(batch: List[Dict[str, object]]) -> None:
+            shipper({"__telemetry__": batch})
+
+        telemetry_sink = obs_telemetry.install(
+            obs_telemetry.TelemetrySink(on_flush=_ship_heartbeats)
+        )
     try:
         record = detect_bug(
             spec.bug_id,
@@ -256,6 +281,9 @@ def execute_job_spec(  # fork-entry: dispatched via functools.partial
             deadline=Deadline.from_seconds(deadline_seconds),
         )
     finally:
+        if telemetry_sink is not None:
+            obs_telemetry.clear()
+            telemetry_sink.flush()
         if collector is not None:
             obs_trace.clear()
             if send is not None:
@@ -492,6 +520,22 @@ class JobQueue:
                 break  # loop closed; server is shutting down
 
     def _on_progress(self, job_id: str, stats: Dict[str, object]) -> None:
+        if isinstance(stats, dict) and "__telemetry__" in stats:
+            # Tagged heartbeat batch: append to the job's bounded telemetry
+            # ring.  Never mixed into ``progress`` (that stream stays
+            # per-bound) and never bumps the long-poll version -- the
+            # telemetry endpoint is a plain poll.
+            payload = stats["__telemetry__"]
+            job = self.jobs.get(job_id)
+            if isinstance(payload, list) and job is not None:
+                for heartbeat in payload:
+                    if isinstance(heartbeat, dict):
+                        job.telemetry.append(heartbeat)
+                        job.telemetry_total += 1
+                overflow = len(job.telemetry) - TELEMETRY_RING
+                if overflow > 0:
+                    del job.telemetry[:overflow]
+            return
         if isinstance(stats, dict) and "__obs__" in stats:
             # Tagged observability payload, not a per-bound progress event:
             # worker spans re-root under the dispatch attempt, the metrics
@@ -1035,6 +1079,57 @@ class JobQueue:
                 break
 
     # ------------------------------------------------------------------
+    def telemetry_dict(
+        self, job_id: str, *, since: int = 0
+    ) -> Optional[Dict[str, object]]:
+        """Wire form for ``GET /jobs/<id>/telemetry`` (None = unknown job).
+
+        ``since`` is an absolute heartbeat index: a poller passes the
+        ``total`` it already saw and receives only newer heartbeats.
+        ``dropped`` counts heartbeats that fell off the bounded ring
+        before anyone read them.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return None
+        first = job.telemetry_total - len(job.telemetry)
+        start = max(0, since - first)
+        return {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "heartbeats": job.telemetry[start:],
+            "total": job.telemetry_total,
+            "dropped": first,
+        }
+
+    # ------------------------------------------------------------------
+    def jobs_summary(self) -> List[Dict[str, object]]:
+        """Compact per-job rows for ``GET /jobs`` (dashboard discovery).
+
+        Deliberately small -- no records, progress events or heartbeats,
+        just enough for a poller to find the jobs worth drilling into via
+        ``GET /jobs/<id>`` and ``GET /jobs/<id>/telemetry``.
+        """
+        rows: List[Dict[str, object]] = []
+        for job in self.jobs.values():
+            rows.append(
+                {
+                    "job_id": job.job_id,
+                    "state": job.state.value,
+                    "bug_id": job.spec.bug_id,
+                    "version": job.spec.version,
+                    "bound": job.spec.bound,
+                    "cache_hit": job.cache_hit,
+                    "attempts": job.attempts,
+                    "submitted_at": job.submitted_at,
+                    "progress_events": len(job.progress),
+                    "telemetry_total": job.telemetry_total,
+                }
+            )
+        rows.sort(key=lambda row: (row["submitted_at"], row["job_id"]))
+        return rows
+
+    # ------------------------------------------------------------------
     def stats_dict(self) -> Dict[str, object]:
         """Counters for ``GET /stats`` and
         :func:`repro.eval.report.serving_statistics`."""
@@ -1065,6 +1160,7 @@ class JobQueue:
             "traced_jobs": len(self.traces.job_ids()),
             "flight_dumps": self.flight.dumps,
             "flight_write_errors": self.flight.write_errors,
+            "flight_evictions": self.flight.evictions,
         }
 
     def render_metrics(self) -> str:
@@ -1087,6 +1183,9 @@ class JobQueue:
             "qed_queue_draining", 1.0 if self._draining else 0.0
         )
         self.metrics.set_gauge("qed_flight_dumps", float(self.flight.dumps))
+        self.metrics.set_gauge(
+            "qed_flight_evictions", float(self.flight.evictions)
+        )
         if self.cache is not None:
             cache_stats = self.cache.stats_dict()
             for field_name in ("hits", "misses", "puts", "upgrades"):

@@ -286,8 +286,10 @@ class QEDServer:
         if segments == ["metrics"] and method == "GET":
             return 200, self.queue.render_metrics()
         if segments == ["jobs"]:
+            if method == "GET":
+                return 200, {"jobs": self.queue.jobs_summary()}
             if method != "POST":
-                return 405, {"error": "POST /jobs"}
+                return 405, {"error": "POST /jobs or GET /jobs"}
             return await self._submit(body or {})
         if (
             len(segments) == 3
@@ -297,6 +299,14 @@ class QEDServer:
             if method != "GET":
                 return 405, {"error": "GET /jobs/<id>/trace"}
             return self._get_trace(segments[1])
+        if (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "telemetry"
+        ):
+            if method != "GET":
+                return 405, {"error": "GET /jobs/<id>/telemetry"}
+            return self._get_telemetry(segments[1], query)
         if len(segments) == 2 and segments[0] == "jobs":
             if method == "GET":
                 return await self._get_job(segments[1], query)
@@ -407,6 +417,24 @@ class QEDServer:
             trace["state"] = job.state.value
             trace["attempts"] = job.attempts
         return 200, {"trace": trace}
+
+    def _get_telemetry(
+        self, job_id: str, query: Dict[str, str]
+    ) -> Tuple[int, dict]:
+        """``GET /jobs/<id>/telemetry[?since=N]``: live solver heartbeats.
+
+        Heartbeats stream up from the solver's cold branches while the
+        job runs; a poller passes the ``total`` it already holds as
+        ``since`` and receives only newer entries from the bounded ring.
+        """
+        try:
+            since = int(query.get("since", 0))
+        except ValueError:
+            raise _BadRequest("since must be an integer")
+        telemetry = self.queue.telemetry_dict(job_id, since=since)
+        if telemetry is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return 200, {"telemetry": telemetry}
 
     def _cancel_job(self, job_id: str) -> Tuple[int, dict]:
         try:

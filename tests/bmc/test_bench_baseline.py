@@ -147,3 +147,119 @@ class TestSixteenVersionVerdicts:
         assert result.bmc_result.frames_proven == expected_frames
         if expected_violation:
             assert result.counterexample is not None
+
+
+def _history_run(pps, solve_seconds=2.0):
+    return {
+        "status": "ok",
+        "runtime_seconds": 3.0,
+        "solve_seconds": solve_seconds,
+        "propagations_per_second": pps,
+        "frames_proven": 5,
+    }
+
+
+def _history_entry(pps, **kwargs):
+    return {"runs": {"depth/trend": _history_run(pps, **kwargs)}}
+
+
+def _trend_report(pps, solve_seconds=2.0):
+    return {
+        "runs": [
+            {
+                "name": "depth/trend",
+                "propagations_per_second": pps,
+                "solve_seconds": solve_seconds,
+            }
+        ]
+    }
+
+
+class TestTrendDetection:
+    """``--check``'s history-based monotonic pps decline gate."""
+
+    def test_monotonic_decline_over_window_fails(self):
+        history = [
+            _history_entry(1000.0),
+            _history_entry(940.0),
+            _history_entry(880.0),
+        ]
+        failures = bench_bmc.check_trend(_trend_report(820.0), history)
+        assert len(failures) == 1
+        assert "depth/trend" in failures[0]
+        assert "declined" in failures[0]
+
+    def test_steps_within_tolerance_pass(self):
+        # Each step declines, but by less than TREND_STEP_TOLERANCE --
+        # strict monotonicity alone would flag wall-clock noise.
+        history = [
+            _history_entry(1000.0),
+            _history_entry(990.0),
+            _history_entry(980.0),
+        ]
+        assert bench_bmc.check_trend(_trend_report(970.0), history) == []
+
+    def test_non_monotonic_history_passes(self):
+        history = [
+            _history_entry(1000.0),
+            _history_entry(1100.0),  # recovery breaks the streak
+            _history_entry(900.0),
+        ]
+        assert bench_bmc.check_trend(_trend_report(850.0), history) == []
+
+    def test_short_history_never_fails(self):
+        history = [_history_entry(1000.0), _history_entry(900.0)]
+        assert bench_bmc.check_trend(_trend_report(800.0), history) == []
+
+    def test_ineligible_entries_break_the_streak(self):
+        history = [
+            _history_entry(1000.0),
+            _history_entry(940.0, solve_seconds=0.01),  # noise-dominated
+            _history_entry(880.0),
+        ]
+        assert bench_bmc.check_trend(_trend_report(820.0), history) == []
+
+    def test_fast_current_run_is_exempt(self):
+        history = [
+            _history_entry(1000.0),
+            _history_entry(940.0),
+            _history_entry(880.0),
+        ]
+        report = _trend_report(820.0, solve_seconds=0.01)
+        assert bench_bmc.check_trend(report, history) == []
+
+
+class TestHistoryFile:
+    def test_entry_round_trips_through_jsonl(self, tmp_path):
+        report = {
+            "profile": "fast",
+            "commit": "abcdef123456",
+            "obs_enabled": True,
+            "runs": [dict(_history_run(1234.5), name="depth/trend")],
+        }
+        path = str(tmp_path / "history.jsonl")
+        bench_bmc.append_history(path, bench_bmc.history_entry(report))
+        entries = bench_bmc.load_history(path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["commit"] == "abcdef123456"
+        assert entry["obs_enabled"] is True
+        assert entry["profile"] == "fast"
+        run = entry["runs"]["depth/trend"]
+        assert run["propagations_per_second"] == 1234.5
+        assert run["frames_proven"] == 5
+        assert entry["t"] > 0
+
+    def test_load_history_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"runs": {}}\nnot json\n\n[1, 2]\n{"runs": {}}\n')
+        assert len(bench_bmc.load_history(str(path))) == 2
+
+    def test_load_history_missing_file_is_empty(self, tmp_path):
+        assert bench_bmc.load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_git_commit_is_attributable(self):
+        commit = bench_bmc._git_commit()
+        # In a checkout this is the 12-char short hash; outside one the
+        # sentinel keeps reports self-describing either way.
+        assert commit == "unknown" or len(commit) >= 7

@@ -3,6 +3,8 @@
 import json
 import os
 
+import pytest
+
 from repro.obs.flight import FLIGHT_FORMAT, FlightRecorder
 
 
@@ -59,3 +61,61 @@ class TestFlightRecorder:
         else:
             assert path is None
             assert recorder.write_errors == 1
+
+
+class TestEviction:
+    def _dump(self, recorder, job_id, mtime=None):
+        path = recorder.dump(job_id, reason="failed", state="failed")
+        if mtime is not None:
+            os.utime(path, (mtime, mtime))
+        return path
+
+    def test_directory_bounded_by_max_files(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), max_files=3)
+        for index in range(6):
+            # Explicit, strictly increasing mtimes: filesystem timestamp
+            # granularity must not decide which records look oldest.
+            self._dump(recorder, f"job-{index:06d}", mtime=1000.0 + index)
+        names = sorted(os.listdir(tmp_path))
+        assert len(names) == 3
+        assert names == [
+            "flight-job-000003.json",
+            "flight-job-000004.json",
+            "flight-job-000005.json",
+        ]
+        assert recorder.evictions == 3
+        assert recorder.dumps == 6
+
+    def test_oldest_by_mtime_evicted_first(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), max_files=2)
+        self._dump(recorder, "job-new", mtime=5000.0)
+        self._dump(recorder, "job-old", mtime=1000.0)
+        # Third dump must evict job-old (oldest mtime), not job-new.
+        self._dump(recorder, "job-late", mtime=9000.0)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["flight-job-late.json", "flight-job-new.json"]
+        assert recorder.evictions == 1
+
+    def test_just_written_record_never_evicted(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), max_files=1)
+        self._dump(recorder, "job-a", mtime=9999999999.0)
+        # Even though job-b's mtime is older than job-a's, the record
+        # just written survives; the other one goes.
+        path = self._dump(recorder, "job-b", mtime=1.0)
+        assert os.listdir(tmp_path) == ["flight-job-b.json"]
+        assert path.endswith("flight-job-b.json")
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("keep me")
+        (tmp_path / "flight-old.log").write_text("not a record")
+        recorder = FlightRecorder(str(tmp_path), max_files=1)
+        self._dump(recorder, "job-a", mtime=10.0)
+        self._dump(recorder, "job-b", mtime=20.0)
+        names = sorted(os.listdir(tmp_path))
+        assert "notes.txt" in names and "flight-old.log" in names
+        assert "flight-job-b.json" in names
+        assert "flight-job-a.json" not in names
+
+    def test_max_files_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path), max_files=0)

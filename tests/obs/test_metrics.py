@@ -124,3 +124,73 @@ class TestProcessRegistry:
         fresh = reset_process_metrics()
         assert fresh is process_metrics()
         assert process_metrics().counter_value("ambient_total") == 0.0
+
+
+class TestParseRenderRoundTrip:
+    """``parse_prometheus(render_prometheus())`` recovers every sample."""
+
+    def test_histogram_round_trip_including_inf_bucket(self):
+        registry = MetricsRegistry()
+        observations = (0.003, 0.04, 2.5, 99.0, 12345.0)
+        for value in observations:
+            registry.observe("solve_seconds", value)
+        parsed = parse_prometheus(registry.render_prometheus())
+        # +Inf bucket == _count == number of observations; the cumulative
+        # bucket counts are non-decreasing up to it.
+        assert parsed['solve_seconds_bucket{le="+Inf"}'] == len(observations)
+        assert parsed["solve_seconds_count"] == len(observations)
+        assert parsed["solve_seconds_sum"] == pytest.approx(
+            sum(observations)
+        )
+        counts = [
+            parsed[f'solve_seconds_bucket{{le="{bound:g}"}}']
+            for bound in DEFAULT_BUCKETS
+            if f'solve_seconds_bucket{{le="{bound:g}"}}' in parsed
+        ]
+        assert counts  # %g must match the rendered bucket bounds
+        assert counts == sorted(counts)
+        assert all(
+            count <= len(observations) for count in counts
+        )
+
+    def test_every_bucket_line_parses_back(self):
+        registry = MetricsRegistry()
+        registry.observe("wait_seconds", 0.5, kind="queue")
+        parsed = parse_prometheus(registry.render_prometheus())
+        bucket_keys = [
+            key for key in parsed if key.startswith("wait_seconds_bucket")
+        ]
+        # one line per DEFAULT_BUCKETS bound plus the +Inf bucket
+        assert len(bucket_keys) == len(DEFAULT_BUCKETS) + 1
+        assert all('kind="queue"' in key for key in bucket_keys)
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        tricky = 'he said "hi" \\ back'
+        registry.inc("events_total", 2.0, msg=tricky)
+        text = registry.render_prometheus()
+        # escaped on the wire...
+        assert '\\"hi\\"' in text and "\\\\" in text
+        parsed = parse_prometheus(text)
+        key = 'events_total{msg="he said \\"hi\\" \\\\ back"}'
+        assert parsed[key] == 2.0
+
+    def test_zero_count_series_render_and_parse(self):
+        registry = MetricsRegistry()
+        registry.inc("errors_total", 0.0)
+        registry.set_gauge("depth", 0.0, queue="main")
+        parsed = parse_prometheus(registry.render_prometheus())
+        # a zero-valued series is a real sample, not an omitted one
+        assert parsed["errors_total"] == 0.0
+        assert parsed['depth{queue="main"}'] == 0.0
+
+    def test_round_trip_is_stable_under_reparse(self):
+        registry = MetricsRegistry()
+        registry.inc("a_total", 3.0, k="v")
+        registry.observe("h_seconds", 1.5)
+        registry.set_gauge("g", 7.25)
+        text = registry.render_prometheus()
+        first = parse_prometheus(text)
+        second = parse_prometheus(text)
+        assert first == second
+        assert first["g"] == 7.25

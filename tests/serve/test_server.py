@@ -79,7 +79,7 @@ class TestProtocolRobustness:
             server._request("GET", "/no/such/route")
         assert excinfo.value.status == 404
         with pytest.raises(ServeError) as excinfo:
-            server._request("GET", "/jobs")  # jobs wants POST
+            server._request("DELETE", "/jobs")  # jobs wants POST or GET
         assert excinfo.value.status == 405
         assert server.healthy()
 

@@ -1,0 +1,247 @@
+"""Serving-layer telemetry: per-job heartbeat ring + ``/telemetry``.
+
+The queue-level tests drive ``_on_progress`` with tagged
+``__telemetry__`` payloads exactly as a worker ships them; the HTTP
+tests use a deterministic entry that ships a scripted batch; the live
+test solves a real EDDI-V job through the process-pool server and
+asserts the acceptance contract -- at least two heartbeats with
+monotonically non-decreasing conflict counts.
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import LocalServer, ServeClient
+from repro.serve.cache import ResultCache
+from repro.serve.queue import (
+    TELEMETRY_RING,
+    JobQueue,
+    _selftest_entry,
+)
+
+from serve_helpers import make_spec as spec
+
+
+async def wait_terminal(queue, job, timeout=20.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not job.state.terminal and loop.time() < deadline:
+        await queue.wait(job, since=job.version, timeout=deadline - loop.time())
+    assert job.state.terminal, f"job stuck in {job.state} ({job.error})"
+    return job
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_queue(body, **kwargs):
+    kwargs.setdefault("entry", _selftest_entry)
+    kwargs.setdefault("use_processes", False)
+    queue = JobQueue(**kwargs)
+    await queue.start()
+    try:
+        return await body(queue)
+    finally:
+        await queue.stop()
+
+
+def heartbeat(seq, conflicts, site="restart", **extra):
+    hb = {"seq": seq, "pid": 1234, "site": site, "conflicts": conflicts}
+    hb.update(extra)
+    return hb
+
+
+class TestTelemetryRing:
+    def test_tagged_payload_fills_ring_without_version_bump(self):
+        async def body(queue):
+            job = queue.submit(spec())
+            await wait_terminal(queue, job)
+            version = job.version
+            progress_len = len(job.progress)
+            queue._on_progress(
+                job.job_id,
+                {"__telemetry__": [heartbeat(0, 5), heartbeat(1, 9)]},
+            )
+            assert job.telemetry_total == 2
+            assert [hb["conflicts"] for hb in job.telemetry] == [5, 9]
+            # telemetry is a plain poll: no long-poll wakeup, and the
+            # per-bound progress stream stays untouched
+            assert job.version == version
+            assert len(job.progress) == progress_len
+
+        run(with_queue(body))
+
+    def test_ring_trims_to_bound_and_reports_dropped(self):
+        async def body(queue):
+            job = queue.submit(spec())
+            await wait_terminal(queue, job)
+            batch = [heartbeat(i, i) for i in range(TELEMETRY_RING + 50)]
+            queue._on_progress(job.job_id, {"__telemetry__": batch})
+            assert len(job.telemetry) == TELEMETRY_RING
+            assert job.telemetry_total == TELEMETRY_RING + 50
+            view = queue.telemetry_dict(job.job_id)
+            assert view["dropped"] == 50
+            assert view["total"] == TELEMETRY_RING + 50
+            assert view["heartbeats"][0]["conflicts"] == 50
+
+        run(with_queue(body))
+
+    def test_since_filters_incrementally(self):
+        async def body(queue):
+            job = queue.submit(spec())
+            await wait_terminal(queue, job)
+            queue._on_progress(
+                job.job_id,
+                {"__telemetry__": [heartbeat(i, i * 10) for i in range(5)]},
+            )
+            first = queue.telemetry_dict(job.job_id, since=0)
+            assert len(first["heartbeats"]) == 5
+            later = queue.telemetry_dict(job.job_id, since=first["total"])
+            assert later["heartbeats"] == []
+            queue._on_progress(
+                job.job_id, {"__telemetry__": [heartbeat(5, 99)]}
+            )
+            newest = queue.telemetry_dict(job.job_id, since=first["total"])
+            assert [hb["conflicts"] for hb in newest["heartbeats"]] == [99]
+
+        run(with_queue(body))
+
+    def test_unknown_job_returns_none(self):
+        async def body(queue):
+            assert queue.telemetry_dict("job-999999") is None
+
+        run(with_queue(body))
+
+    def test_malformed_payload_is_ignored(self):
+        async def body(queue):
+            job = queue.submit(spec())
+            await wait_terminal(queue, job)
+            queue._on_progress(job.job_id, {"__telemetry__": "not-a-list"})
+            queue._on_progress(
+                job.job_id, {"__telemetry__": ["not-a-dict", heartbeat(0, 1)]}
+            )
+            assert job.telemetry_total == 1
+
+        run(with_queue(body))
+
+
+class TestHttpTelemetry:
+    def test_endpoint_serves_ring_since_and_404(self, tmp_path):
+        with LocalServer(
+            cache=ResultCache(None),
+            entry=_selftest_entry,
+            use_processes=False,
+            flight_dir=str(tmp_path),
+        ) as url:
+            body = json.dumps({"spec": spec().canonical_dict()}).encode()
+            req = urllib.request.Request(
+                url + "/jobs",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(req) as resp:
+                job = json.load(resp)["job"]
+            for _ in range(100):
+                with urllib.request.urlopen(
+                    f"{url}/jobs/{job['job_id']}?wait=1"
+                ) as resp:
+                    view = json.load(resp)["job"]
+                if view["state"] in ("done", "failed", "cancelled"):
+                    break
+            assert view["state"] == "done"
+
+            with urllib.request.urlopen(
+                f"{url}/jobs/{job['job_id']}/telemetry"
+            ) as resp:
+                payload = json.load(resp)["telemetry"]
+            assert payload["job_id"] == job["job_id"]
+            assert payload["state"] == "done"
+            assert payload["dropped"] == 0
+
+            # since= beyond the total returns an empty tail
+            with urllib.request.urlopen(
+                f"{url}/jobs/{job['job_id']}/telemetry?since=999999"
+            ) as resp:
+                tail = json.load(resp)["telemetry"]
+            assert tail["heartbeats"] == []
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url + "/jobs/job-999999/telemetry")
+            assert excinfo.value.code == 404
+
+            # bad since= -> 400, non-GET -> 405
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{url}/jobs/{job['job_id']}/telemetry?since=abc"
+                )
+            assert excinfo.value.code == 400
+            req = urllib.request.Request(
+                f"{url}/jobs/{job['job_id']}/telemetry",
+                data=b"{}",
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req)
+            assert excinfo.value.code == 405
+
+    def test_jobs_listing_summarises_jobs(self, tmp_path):
+        with LocalServer(
+            cache=ResultCache(None),
+            entry=_selftest_entry,
+            use_processes=False,
+            flight_dir=str(tmp_path),
+        ) as url:
+            body = json.dumps({"spec": spec().canonical_dict()}).encode()
+            req = urllib.request.Request(
+                url + "/jobs", data=body, method="POST"
+            )
+            with urllib.request.urlopen(req) as resp:
+                job = json.load(resp)["job"]
+            with urllib.request.urlopen(url + "/jobs") as resp:
+                rows = json.load(resp)["jobs"]
+            assert len(rows) == 1
+            row = rows[0]
+            assert row["job_id"] == job["job_id"]
+            assert set(row) >= {
+                "state",
+                "bug_id",
+                "version",
+                "bound",
+                "telemetry_total",
+            }
+
+
+class TestLiveSolveTelemetry:
+    def test_real_solve_streams_monotone_heartbeats(self, tmp_path):
+        """Acceptance: a live EDDI-V solve produces >=2 heartbeats whose
+        conflict counts increase monotonically (per solving process)."""
+        with LocalServer(cache_dir=str(tmp_path), workers=2) as url:
+            client = ServeClient(url)
+            job = client.submit(bug_id="wrport_collision")
+            done = client.wait_done(job.job_id, timeout=120.0)
+            assert done.state == "done"
+            payload = client.telemetry(job.job_id)
+            heartbeats = payload["heartbeats"]
+            assert payload["total"] >= 2
+            assert len(heartbeats) >= 2
+            by_pid = {}
+            for hb in heartbeats:
+                if hb["site"] == "bound":
+                    continue  # run-cumulative totals, separate stream
+                by_pid.setdefault(hb["pid"], []).append(hb["conflicts"])
+            assert by_pid, "no solver-site heartbeats recorded"
+            for conflicts in by_pid.values():
+                assert conflicts == sorted(conflicts)
+            solver_sites = {
+                hb["site"] for hb in heartbeats if hb["site"] != "bound"
+            }
+            assert solver_sites <= {"restart", "db_reduce", "deadline_poll"}
+            # incremental polling with since= composes with the ring
+            tail = client.telemetry(job.job_id, since=payload["total"])
+            assert tail["heartbeats"] == []
