@@ -278,6 +278,33 @@ def render_frame(
         f"{stats.get('flight_dumps', 0)} dumps "
         f"{stats.get('flight_evictions', 0)} evicted"
     )
+    fleet = stats.get("fleet")
+    if isinstance(fleet, dict):
+        workers = fleet.get("workers") or {}
+        lines.append(
+            f"fleet     : {workers.get('live', 0)} live / "
+            f"{workers.get('suspect', 0)} suspect / "
+            f"{workers.get('dead', 0)} dead   "
+            f"leases {fleet.get('leases_outstanding', 0)} out / "
+            f"{fleet.get('leases_expired', 0)} expired / "
+            f"{fleet.get('lease_reassignments', 0)} reassigned   "
+            f"fenced {fleet.get('fenced_commits_rejected', 0)}"
+        )
+        table = fleet.get("workers_table")
+        if isinstance(table, list) and table:
+            for row in table[:MAX_JOB_ROWS]:
+                if not isinstance(row, dict):
+                    continue
+                lines.append(
+                    f"  {str(row.get('worker_id', '?'))[:24]:<24} "
+                    f"{str(row.get('state', '?')):<8} "
+                    f"leases {row.get('leases', 0)}  "
+                    f"done {row.get('jobs_done', 0)}  "
+                    f"beats {row.get('heartbeats', 0)}  "
+                    f"seen {float(row.get('last_seen_seconds_ago', 0.0)):.1f}s ago"
+                )
+            if len(table) > MAX_JOB_ROWS:
+                lines.append(f"  ... {len(table) - MAX_JOB_ROWS} more workers")
     metrics_text = _get(base, "/metrics", timeout)
     if isinstance(metrics_text, str):
         try:

@@ -15,6 +15,14 @@ Subcommands::
     smoke     -- the CI gate: boot an in-process server, run one EDDI-V
                  job, check the verdict against a direct detect_bug() call,
                  and check that an identical resubmission is a cache hit.
+    worker    -- join a server's fleet from this host: pull jobs under
+                 leases, heartbeat, commit with the fence token:
+                 ... serve_qed.py worker --server 127.0.0.1:8123
+    fleet-smoke -- the CI fleet gate: boot a fleet-only server (workers=0),
+                 attach a remote worker, SIGKILL it mid-solve, attach a
+                 second worker, and assert the recovered verdicts are
+                 byte-identical to direct detect_bug() calls with exactly
+                 one lease reassignment on /metrics.
 
 Everything is stdlib-only; the server spawned here is the same stack the
 tests exercise (:class:`repro.serve.LocalServer`).
@@ -71,12 +79,27 @@ def _client_for(args, *, workers: int):
 # ----------------------------------------------------------------------
 def cmd_serve(args) -> int:
     state_path = os.path.join(args.cache_dir, "queue_state.json")
+    admission = None
+    if args.client_rate is not None:
+        admission = dict(
+            rate=args.client_rate,
+            burst=args.client_burst
+            if args.client_burst is not None
+            else 2.0 * args.client_rate,
+        )
     server = LocalServer(
         host=args.host,
         port=args.port,
         workers=args.workers,
         cache_dir=args.cache_dir,
         state_path=state_path,
+        fleet=args.fleet or args.workers == 0,
+        fleet_kwargs=dict(
+            lease_seconds=args.lease_seconds,
+            heartbeat_seconds=args.heartbeat_seconds,
+        ),
+        admission=admission,
+        max_queue_depth=args.max_queue_depth,
     )
     # SIGTERM (systemd stop, `kill`, container shutdown) drains gracefully:
     # running solves finish and are cached, queued work is persisted to
@@ -86,6 +109,12 @@ def cmd_serve(args) -> int:
     url = server.start()
     print(f"serving on {url} (cache: {args.cache_dir}, workers: {args.workers})")
     print("POST /jobs | GET /jobs/<id>?wait= | GET /results/<key> | GET /stats")
+    if args.fleet or args.workers == 0:
+        print(
+            f"fleet mode: POST /fleet/* (lease {args.lease_seconds}s, "
+            f"heartbeat {args.heartbeat_seconds}s) -- attach workers with "
+            f"`serve_qed.py worker --server {url}`"
+        )
     try:
         while not stop_signal.wait(timeout=1.0):
             pass
@@ -196,6 +225,160 @@ def cmd_smoke(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """Join a server's fleet: pull jobs under leases until SIGTERM'd."""
+    from repro.serve.fleet import FleetWorker
+
+    stop = threading.Event()
+    # SIGTERM exits gracefully: the current lease finishes and commits,
+    # then the worker deregisters.  SIGKILL is the chaos path -- the
+    # coordinator recovers the job via lease expiry.
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    worker = FleetWorker(
+        args.server,
+        worker_id=args.id,
+        use_processes=not args.use_threads,
+        poll_seconds=args.poll,
+        max_jobs=args.max_jobs,
+        stop_event=stop,
+    )
+    print(f"worker {worker.worker_id} pulling from {args.server}", flush=True)
+    try:
+        stats = worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+        stats = worker.stats_dict()
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def _spawn_worker_process(url: str, worker_id: str):
+    """Launch `serve_qed.py worker` as a real OS process (SIGKILL-able)."""
+    import subprocess
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, __file__, "worker", "--server", url, "--id", worker_id],
+        env=env,
+    )
+
+
+def cmd_fleet_smoke(args) -> int:
+    """CI fleet gate: kill a remote worker mid-solve, verify full recovery.
+
+    Boots a fleet-only server (no local executors), attaches worker A,
+    submits two solves, SIGKILLs A while it holds a lease, attaches
+    worker B, and requires: both verdicts byte-identical to direct
+    ``detect_bug()`` runs, exactly one lease reassignment on /metrics,
+    and zero fence violations slipping through.
+    """
+    from repro.eval.campaign import record_from_json_dict
+    from repro.obs.metrics import parse_prometheus
+
+    bug_ids = args.bugs or [SMOKE_BUG, "alu_after_load"]
+    config = CampaignConfig(
+        bug_ids=bug_ids, run_industrial_flow=False, run_directed_tests=False
+    )
+    failures: List[str] = []
+    procs = []
+    with contextlib.ExitStack() as stack:
+        cache_dir = args.cache_dir or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        )
+        url = stack.enter_context(
+            LocalServer(
+                cache_dir=cache_dir,
+                workers=0,  # fleet-only: every solve must go remote
+                fleet=True,
+                fleet_kwargs=dict(lease_seconds=3.0, heartbeat_seconds=0.5),
+            )
+        )
+        stack.callback(
+            lambda: [p.kill() for p in procs if p.poll() is None]
+        )
+        client = ServeClient(url)
+        health = client.healthz()
+        if health.get("ok") or not health.get("no_executors"):
+            failures.append(
+                "fleet-only server claimed readiness with no workers attached"
+            )
+        views = [
+            client.submit(bug_id=bug_id, config=config) for bug_id in bug_ids
+        ]
+        procs.append(_spawn_worker_process(url, "smoke-a"))
+        # Wait for worker A to hold a lease (i.e. be mid-solve), then
+        # SIGKILL it -- no deregister, no final heartbeat, just silence.
+        deadline = time.monotonic() + args.timeout
+        leased = False
+        while time.monotonic() < deadline:
+            table = client.fleet().get("workers_table", [])
+            if any(
+                w["worker_id"] == "smoke-a" and w["leases"] > 0 for w in table
+            ):
+                leased = True
+                break
+            time.sleep(0.05)
+        if not leased:
+            failures.append("worker A never acquired a lease")
+        else:
+            procs[0].kill()
+            procs[0].wait()
+            procs.append(_spawn_worker_process(url, "smoke-b"))
+        records = {}
+        for bug_id, view in zip(bug_ids, views):
+            try:
+                final = client.wait_done(view.job_id, timeout=args.timeout)
+            except Exception as exc:
+                failures.append(f"{bug_id}: wait failed: {exc}")
+                continue
+            if final.state != "done" or final.record is None:
+                failures.append(f"{bug_id}: job ended {final.state}: {final.error}")
+            else:
+                records[bug_id] = final.record
+        for bug_id, record in records.items():
+            direct = detect_bug(bug_id, config)
+            served = record_from_json_dict(record)
+            if record_comparable_dict(direct) != record_comparable_dict(served):
+                failures.append(
+                    f"{bug_id}: recovered record differs from direct detect_bug()"
+                )
+        metrics = parse_prometheus(client.metrics_text())
+        reassignments = metrics.get("qed_fleet_lease_reassignments_total", 0)
+        if leased and reassignments != 1:
+            failures.append(
+                f"expected exactly 1 lease reassignment, saw {reassignments}"
+            )
+        fleet_stats = client.fleet()
+        print(
+            json.dumps(
+                {
+                    "bugs": sorted(records),
+                    "lease_reassignments": reassignments,
+                    "fenced_commits_rejected": fleet_stats.get(
+                        "fenced_commits_rejected"
+                    ),
+                    "workers": fleet_stats.get("workers"),
+                },
+                indent=2,
+            )
+        )
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=30)
+    if failures:
+        for failure in failures:
+            print(f"FLEET SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "fleet smoke OK: SIGKILLed worker's job reassigned via lease expiry, "
+        "verdicts byte-identical to direct runs"
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -233,9 +416,77 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve = commands.add_parser("serve", help="run a standalone server")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8123)
-    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="local solver processes; 0 = fleet-only (remote workers "
+        "do all solving)",
+    )
     serve.add_argument("--cache-dir", default=".repro_cache")
+    serve.add_argument(
+        "--fleet", action="store_true",
+        help="accept remote workers via POST /fleet/* (implied by "
+        "--workers 0)",
+    )
+    serve.add_argument(
+        "--lease-seconds", type=float, default=15.0,
+        help="remote job lease TTL; heartbeats renew it (default 15)",
+    )
+    serve.add_argument(
+        "--heartbeat-seconds", type=float, default=2.0,
+        help="worker heartbeat interval; suspect after 2 missed beats, "
+        "dead after 4 (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="bound the submission backlog; overflow answers 429 + "
+        "Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--client-rate", type=float, default=None,
+        help="per-client token-bucket refill rate (jobs/second); enables "
+        "admission fairness (default: off)",
+    )
+    serve.add_argument(
+        "--client-burst", type=float, default=None,
+        help="per-client bucket capacity (default: 2x --client-rate)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    worker = commands.add_parser(
+        "worker", help="join a server's fleet as a remote solve worker"
+    )
+    worker.add_argument(
+        "--server", required=True, help="coordinator URL (host:port)"
+    )
+    worker.add_argument(
+        "--id", default=None,
+        help="worker id (default: w-<hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="idle poll interval when the queue is empty (default 0.5s)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="exit after serving this many leases (default: run forever)",
+    )
+    worker.add_argument(
+        "--use-threads", action="store_true",
+        help="solve on a thread instead of a killable child process "
+        "(test/debug mode)",
+    )
+    worker.set_defaults(func=cmd_worker)
+
+    fleet_smoke = commands.add_parser(
+        "fleet-smoke", help="CI fleet gate (kill a worker, verify recovery)"
+    )
+    fleet_smoke.add_argument("--bugs", nargs="*", default=None)
+    fleet_smoke.add_argument("--cache-dir", default=None)
+    fleet_smoke.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="overall wait budget per phase in seconds (default 600)",
+    )
+    fleet_smoke.set_defaults(func=cmd_fleet_smoke)
 
     submit = commands.add_parser("submit", help="submit one job")
     add_common(submit, server_required=True)

@@ -44,6 +44,24 @@ Design constraints:
 * **Deterministic.**  ``at=0`` asks the injector to derive the firing
   hit from ``seed`` (stable per ``(seed, site, spec index)``); the same
   seed always produces the same schedule.
+
+Network-boundary sites (multi-host fleet)
+-----------------------------------------
+
+The remote-worker protocol (:mod:`repro.serve.fleet`) adds injection
+points at the *wire*, not just inside processes:
+
+* ``fleet.worker.heartbeat`` — :func:`message_fate` on each heartbeat
+  send; ``drop`` simulates a partition long enough for lease expiry
+  (the worker keeps its pending event batch for the next beat),
+  ``duplicate`` sends the beat twice.
+* ``fleet.worker.commit`` — :func:`crash_point` first (``delay`` turns
+  the worker into a zombie whose lease expires before the commit
+  lands, exercising fence rejection; ``kill`` dies with the result
+  computed but unsent), then :func:`message_fate` on the send
+  (``drop``/``duplicate``).
+* ``serve.client.request`` (pre-existing) — ``reset`` covers the
+  client-visible partition: connection torn mid-request.
 """
 
 from __future__ import annotations

@@ -15,17 +15,43 @@ Architecture
     client / CLI (repro.serve.client, scripts/serve_qed.py)
         |  POST /jobs {bug_id | spec, deadline_seconds?}
         |  GET /jobs/<id>?wait= (long-poll, streams per-bound BoundStats)
-        |  [transport error -> retry w/ capped exponential backoff; safe:
-        v   submissions are content-addressed, hence idempotent]
+        |  [transport error -> retry w/ capped, seed-jittered exponential
+        v   backoff; safe: submissions are content-addressed / idempotent]
     +------------------ QEDServer (repro.serve.server) ------------------+
     |  stdlib asyncio HTTP: parse -> route; malformed input => 4xx on    |
     |  that connection only, the accept loop never dies                  |
+    |  admission control: bounded queue depth + per-client token bucket  |
+    |  (X-Client-Id) => 429 + Retry-After instead of unbounded backlog   |
     |  GET /healthz: readiness (pool liveness, cache writability, queue  |
-    |  depth) -- 503 while pool rebuilds / cache read-only / draining    |
-    |  SIGTERM -> drain(): running solves finish, queued specs persist   |
-    |  to queue_state.json, restored on the next start                   |
+    |  depth, fleet liveness) -- 503 while pool rebuilds / cache         |
+    |  read-only / draining / fleet-only with no live remote worker      |
+    |  SIGTERM -> drain(): running solves finish (local AND leased       |
+    |  remote), queued specs persist to queue_state.json, restored on    |
+    |  the next start                                                    |
+    +------+--------------------------------+-----------------------------+
+           v                                | POST /fleet/* (remote pull)
+    (local fork pool)                       v
+    +----------- FleetCoordinator + FleetWorker (repro.serve.fleet) ------+
+    |  worker protocol: register -> lease(job, fence epoch, TTL) ->       |
+    |  heartbeat (renews lease, ships telemetry/progress batches) ->      |
+    |  complete {lease_id, fence, result | crashed | error}               |
+    |                                                                     |
+    |  lease / fence state machine (per job):                             |
+    |      grant: fence += 1, lease ACTIVE, expires = now + TTL           |
+    |      heartbeat: expires = now + TTL (healthy slow solves never      |
+    |          expire); revoked lease answered "revoked" -> worker kills  |
+    |          its child solve                                            |
+    |      expiry (missed beats / dead worker): lease removed => token    |
+    |          invalid, job requeued into the capped-backoff/quarantine   |
+    |          machinery, reassignment counted                            |
+    |      commit: accepted iff lease still ACTIVE and body.fence ==      |
+    |          current epoch -- a paused-then-resumed zombie's late       |
+    |          commit is fence-rejected, never double-applied             |
+    |  failure detection: live -> suspect (2 missed beats) -> dead (4);   |
+    |  any request from the worker revives it                            |
     +---------------------------+-----------------------------------------+
-                                v
+                                v  (remote commits join the SAME
+                                    completion path as local solves)
     +------------------ JobQueue (repro.serve.queue) ---------------------+
     |  JobSpec.resolved().cache_key()   (repro.serve.keys: canonical      |
     |      version+fingerprint+mode+focus+bound+knobs -> SHA-256;         |
@@ -49,13 +75,24 @@ Architecture
     |  monotone upgrades: UNKNOWN-at-budget/-deadline may become          |
     |  definitive, never the reverse -- including across restarts (log    |
     |  replay); torn tails are healed at the next append                  |
+    |      |  GET /cache/log?since=<offset> (raw byte ranges)             |
+    |      v                                                              |
+    |  CacheFollower (repro.serve.fleet): byte-mirrors the append-only    |
+    |  log onto a standby, which replays it and serves warm hits after    |
+    |  primary loss (torn tails skipped, healed on the next sync)         |
     +----------------------------------------------------------------------+
 
 Deployment shapes: :class:`~repro.serve.server.LocalServer` runs the whole
 stack on a background thread in-process (tests, quickstart, CLI spawn
-mode); ``scripts/serve_qed.py serve`` runs it standalone.  Fault tolerance
-is exercised by the seeded chaos harness (:mod:`repro.faults` driving
-``tests/chaos``).
+mode); ``scripts/serve_qed.py serve`` runs it standalone, and
+``scripts/serve_qed.py worker --server URL`` joins its fleet from another
+host.  The invariant that matters: a definitive verdict is byte-identical
+whether the solve ran locally, remotely, or survived any schedule of
+worker kills, partitions and zombie commits -- fault tolerance changes
+*when* the answer arrives, never *what* it is.  Exercised by the seeded
+chaos harness (:mod:`repro.faults` driving ``tests/chaos``, including the
+network-boundary sites) and ``scripts/loadgen_qed.py`` for the admission
+path.
 """
 
 from repro.serve.cache import CacheEntry, ResultCache
@@ -65,18 +102,29 @@ from repro.serve.client import (
     ServeError,
     run_campaign_via_server,
 )
+from repro.serve.fleet import (
+    AdmissionController,
+    CacheFollower,
+    FleetCoordinator,
+    FleetWorker,
+)
 from repro.serve.keys import JobSpec
 from repro.serve.queue import (
     Job,
     JobQueue,
     JobState,
     QueueDraining,
+    QueueFull,
     execute_job_spec,
 )
 from repro.serve.server import LocalServer, QEDServer
 
 __all__ = [
+    "AdmissionController",
     "CacheEntry",
+    "CacheFollower",
+    "FleetCoordinator",
+    "FleetWorker",
     "Job",
     "JobQueue",
     "JobSpec",
@@ -85,6 +133,7 @@ __all__ = [
     "LocalServer",
     "QEDServer",
     "QueueDraining",
+    "QueueFull",
     "ResultCache",
     "ServeClient",
     "ServeError",

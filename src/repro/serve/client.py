@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TypedDict, cast
@@ -56,7 +58,10 @@ class QueueStats(TypedDict, total=False):
     deadline_expired: int
     quarantined: int
     quarantine_rejections: int
+    queue_full_rejections: int
+    max_queue_depth: Optional[int]
     draining: bool
+    fleet: Optional[Dict[str, object]]
     running: int
     queued: int
     jobs_tracked: int
@@ -77,11 +82,27 @@ class StatsPayload(TypedDict, total=False):
 
 
 class ServeError(RuntimeError):
-    """A request failed: transport error, non-2xx status, or a FAILED job."""
+    """A request failed: transport error, non-2xx status, or a FAILED job.
 
-    def __init__(self, message: str, *, status: Optional[int] = None) -> None:
+    ``retry_after`` is populated from a 429 response's payload -- the
+    server's own estimate of when resubmitting is worthwhile (admission
+    control: queue depth bound or per-client token bucket).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+        #: The decoded JSON error body, when the server sent one -- e.g.
+        #: the /healthz not-ready payload behind a 503.
+        self.payload = payload
 
 
 @dataclass
@@ -145,6 +166,8 @@ class ServeClient:
         timeout: float = 120.0,
         retries: int = 3,
         retry_backoff: float = 0.05,
+        jitter_seed: Optional[object] = None,
+        client_id: Optional[str] = None,
     ) -> None:
         split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if split.scheme not in ("", "http"):
@@ -156,6 +179,21 @@ class ServeClient:
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        #: Sent as ``X-Client-Id`` so the server's admission controller
+        #: buckets this client's submissions under a stable identity.
+        self.client_id = client_id
+        # Seed-derived backoff jitter: every client (and every fleet
+        # worker, which seeds with its worker id) retries on its own
+        # deterministic schedule, so a reconnect storm after a partition
+        # spreads out instead of hammering the server in lockstep.
+        if jitter_seed is None:
+            jitter_seed = (self.host, self.port, os.getpid())
+        self._backoff_rng = random.Random(repr(jitter_seed))
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff with jitter in [0.5, 1.0]x."""
+        base = min(self.retry_backoff * (2.0 ** (attempt - 1)), 2.0)
+        return base * (0.5 + 0.5 * self._backoff_rng.random())
 
     # ------------------------------------------------------------------
     def _request(
@@ -164,7 +202,7 @@ class ServeClient:
         last_error: Optional[ServeError] = None
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(min(self.retry_backoff * (2.0 ** (attempt - 1)), 2.0))
+                time.sleep(self._backoff_delay(attempt))
             try:
                 return self._request_once(method, path, body)
             except ServeError as exc:
@@ -183,6 +221,8 @@ class ServeClient:
         try:
             payload = None if body is None else json.dumps(body)
             headers = {"Content-Type": "application/json"} if payload else {}
+            if self.client_id is not None:
+                headers["X-Client-Id"] = self.client_id
             try:
                 # Chaos-harness transport site: a seeded ``reset`` raises
                 # ConnectionResetError here, exactly like a server that
@@ -203,10 +243,17 @@ class ServeClient:
                     status=response.status,
                 )
             if response.status >= 400:
+                retry_after = data.get("retry_after")
                 raise ServeError(
                     f"{method} {path} -> {response.status}: "
                     f"{data.get('error', raw[:200])}",
                     status=response.status,
+                    retry_after=(
+                        float(retry_after)
+                        if isinstance(retry_after, (int, float))
+                        else None
+                    ),
+                    payload=data if isinstance(data, dict) else None,
                 )
             return data
         finally:
@@ -218,6 +265,17 @@ class ServeClient:
             return bool(self._request("GET", "/healthz").get("ok"))
         except ServeError:
             return False
+
+    def healthz(self) -> Dict[str, object]:
+        """The full /healthz payload; a 503 not-ready answer is returned
+        as a payload (``ok: false`` plus the individual signals), not
+        raised -- the probe's whole point is explaining unreadiness."""
+        try:
+            return self._request("GET", "/healthz")
+        except ServeError as exc:
+            if exc.status == 503 and exc.payload is not None:
+                return exc.payload
+            raise
 
     def submit(
         self,
@@ -352,7 +410,7 @@ class ServeClient:
         last_error: Optional[ServeError] = None
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(min(self.retry_backoff * (2.0 ** (attempt - 1)), 2.0))
+                time.sleep(self._backoff_delay(attempt))
             connection = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
@@ -380,6 +438,55 @@ class ServeClient:
 
     def stats(self) -> StatsPayload:
         return cast(StatsPayload, self._request("GET", "/stats"))
+
+    # -- fleet worker protocol -----------------------------------------
+    def fleet_register(
+        self, *, worker_id: str, pid: int = 0, host: str = ""
+    ) -> Dict[str, object]:
+        """``POST /fleet/register``: join the fleet; returns the pacing."""
+        return self._request(
+            "POST",
+            "/fleet/register",
+            {"worker_id": worker_id, "pid": pid, "host": host},
+        )
+
+    def fleet_lease(self, *, worker_id: str) -> Dict[str, object]:
+        """``POST /fleet/lease``: pull one job (``{"lease": None}`` = idle)."""
+        return self._request("POST", "/fleet/lease", {"worker_id": worker_id})
+
+    def fleet_heartbeat(self, body: Dict[str, object]) -> Dict[str, object]:
+        """``POST /fleet/heartbeat``: renew a lease + ship buffered events."""
+        return self._request("POST", "/fleet/heartbeat", body)
+
+    def fleet_complete(self, body: Dict[str, object]) -> Dict[str, object]:
+        """``POST /fleet/complete``: fenced commit of a lease's outcome."""
+        return self._request("POST", "/fleet/complete", body)
+
+    def fleet_deregister(self, *, worker_id: str) -> Dict[str, object]:
+        """``POST /fleet/deregister``: graceful exit from the fleet."""
+        return self._request(
+            "POST", "/fleet/deregister", {"worker_id": worker_id}
+        )
+
+    def fleet(self) -> Dict[str, object]:
+        """``GET /fleet``: the coordinator's worker/lease table."""
+        payload = self._request("GET", "/fleet")["fleet"]
+        assert isinstance(payload, dict)
+        return payload
+
+    def cache_log(
+        self, *, since: int = 0, max_bytes: int = 1 << 20
+    ) -> Dict[str, object]:
+        """``GET /cache/log?since=N``: one replication chunk.
+
+        The payload's ``data`` is a latin-1-decoded byte range of the
+        primary's append-only result log (byte-exact through JSON);
+        ``since``/``end``/``size`` are byte offsets for the next pull.
+        :class:`repro.serve.fleet.CacheFollower` drives this.
+        """
+        return self._request(
+            "GET", f"/cache/log?since={int(since)}&max={int(max_bytes)}"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -63,6 +63,7 @@ import heapq
 import itertools
 import multiprocessing
 import os
+import random
 import threading
 import time
 from collections import deque
@@ -88,6 +89,7 @@ __all__ = [
     "JobQueue",
     "JobState",
     "QueueDraining",
+    "QueueFull",
     "execute_job_spec",
 ]
 
@@ -99,6 +101,19 @@ TELEMETRY_RING = 256
 
 class QueueDraining(RuntimeError):
     """Submission rejected: the queue is draining for shutdown (HTTP 503)."""
+
+
+class QueueFull(RuntimeError):
+    """Submission rejected: queue depth at its admission bound (HTTP 429).
+
+    ``retry_after`` is the server's own estimate of when retrying is
+    worthwhile (derived from observed queue latency); the HTTP layer
+    surfaces it as the 429 response's ``Retry-After``.
+    """
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class JobState(str, Enum):
@@ -365,10 +380,16 @@ class JobQueue:
         max_retries: int = 2,
         retry_backoff_base: float = 0.05,
         retry_backoff_cap: float = 2.0,
+        backoff_seed: int = 0,
+        max_queue_depth: Optional[int] = None,
         flight_dir: Optional[str] = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
+        # ``workers=0`` is the fleet-only deployment: no local executor,
+        # every solve pulled by remote workers through the coordinator.
+        if workers < 0:
+            raise ValueError("workers must be at least 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
         if max_tracked_jobs < 1:
             raise ValueError("max_tracked_jobs must be at least 1")
         if max_retries < 0:
@@ -383,6 +404,17 @@ class JobQueue:
         self.max_retries = max_retries
         self.retry_backoff_base = retry_backoff_base
         self.retry_backoff_cap = retry_backoff_cap
+        #: Retry backoffs are jittered by a factor in [0.5, 1.0] drawn from
+        #: a seeded RNG keyed on (seed, cache key, attempt): deterministic
+        #: for tests, decorrelated across jobs so a crash storm's retries
+        #: do not land in lockstep.
+        self.backoff_seed = backoff_seed
+        #: Admission bound on QUEUED depth; ``None`` means unbounded.
+        #: Exceeding it raises :class:`QueueFull` (HTTP 429 + Retry-After).
+        self.max_queue_depth = max_queue_depth
+        #: Set by :class:`repro.serve.fleet.FleetCoordinator` when this
+        #: queue also feeds remote lease-based workers.
+        self.fleet = None
         #: Terminal jobs beyond this count are evicted oldest-first, so a
         #: long-running server's registry stays bounded (results live on in
         #: the cache; only the per-job views age out).
@@ -419,6 +451,7 @@ class JobQueue:
         self.pool_rebuilds = 0
         self.deadline_expired = 0
         self.quarantine_rejections = 0
+        self.queue_full_rejections = 0
         self.queue_latency_total = 0.0
         self.queue_latency_jobs = 0
         # Observability: the queue-owned registry (what GET /metrics
@@ -712,6 +745,24 @@ class JobQueue:
             self._bump(existing)
             return existing
 
+        # Admission bound: only submissions that would actually *queue*
+        # count against the depth (cache hits, coalesces and quarantine
+        # rejections above never grow the backlog).
+        if self.max_queue_depth is not None:
+            depth = sum(
+                1 for j in self.jobs.values() if j.state is JobState.QUEUED
+            )
+            if depth >= self.max_queue_depth:
+                self.queue_full_rejections += 1
+                self.metrics.inc(
+                    "qed_admission_rejections_total", reason="queue_full"
+                )
+                raise QueueFull(
+                    f"queue depth {depth} at its bound "
+                    f"{self.max_queue_depth}; retry later",
+                    retry_after=self._retry_after_hint(),
+                )
+
         job = Job(
             job_id=self._new_job_id(),
             spec=spec,
@@ -851,44 +902,7 @@ class JobQueue:
                     self.entry, spec_dict, job.job_id, progress, **kwargs
                 )
             result = await loop.run_in_executor(executor, call)
-            record = dict(result["record"])
-            record["cache_key"] = job.cache_key
-            record.setdefault("served_from_cache", False)
-            if self.cache is not None:
-                write_start = time.monotonic()
-                self.cache.put(
-                    job.cache_key,
-                    record,
-                    fingerprint=job.spec.fingerprint,
-                    definitive=bool(result.get("definitive", True)),
-                    spec=job.spec.canonical_dict(),
-                )
-                self.traces.add_span(
-                    job.job_id, "cache.write", write_start, time.monotonic()
-                )
-            job.record = record
-            job.state = JobState.DONE
-            self.executed += 1
-            self.metrics.inc("qed_jobs_executed_total")
-            self.traces.close_span(
-                job.job_id, job._attempt_span_id, time.monotonic(),
-                outcome="done",
-            )
-            if record.get("deadline_expired"):
-                # The worker's budget ran out mid-solve: an honest UNKNOWN,
-                # but still a deadline ending worth a flight record.
-                self.deadline_expired += 1
-                self.metrics.inc("qed_deadline_expiries_total", scope="worker")
-                self.traces.add_event(
-                    job.job_id, "deadline.expired", scope="running"
-                )
-                self.flight.dump(
-                    job.job_id,
-                    reason="deadline_expired",
-                    state=job.state.value,
-                    trace=self.traces.to_json_dict(job.job_id),
-                    attempts=job.attempts + 1,
-                )
+            self._finish_success(job, result)
         except Exception as exc:
             self.traces.close_span(
                 job.job_id, job._attempt_span_id, time.monotonic(),
@@ -906,6 +920,79 @@ class JobQueue:
             self._wake.set()
         if retry_delay is not None:
             await self._requeue_after(job, retry_delay)
+
+    def _finish_success(self, job: Job, result: Dict[str, object]) -> None:
+        """Apply one successful entry result to *job* (local or remote).
+
+        This is the single completion path: record post-processing, cache
+        admission under monotone-upgrade semantics, counters, attempt-span
+        close and the deadline-expiry flight dump.  Remote commits
+        (:meth:`fleet_complete`) run through the same code, which is what
+        makes a served record byte-identical regardless of which host
+        solved it.
+        """
+        record = dict(result["record"])
+        record["cache_key"] = job.cache_key
+        record.setdefault("served_from_cache", False)
+        if self.cache is not None:
+            write_start = time.monotonic()
+            self.cache.put(
+                job.cache_key,
+                record,
+                fingerprint=job.spec.fingerprint,
+                definitive=bool(result.get("definitive", True)),
+                spec=job.spec.canonical_dict(),
+            )
+            self.traces.add_span(
+                job.job_id, "cache.write", write_start, time.monotonic()
+            )
+        job.record = record
+        job.state = JobState.DONE
+        self.executed += 1
+        self.metrics.inc("qed_jobs_executed_total")
+        self.traces.close_span(
+            job.job_id, job._attempt_span_id, time.monotonic(),
+            outcome="done",
+        )
+        if record.get("deadline_expired"):
+            # The worker's budget ran out mid-solve: an honest UNKNOWN,
+            # but still a deadline ending worth a flight record.
+            self.deadline_expired += 1
+            self.metrics.inc("qed_deadline_expiries_total", scope="worker")
+            self.traces.add_event(
+                job.job_id, "deadline.expired", scope="running"
+            )
+            self.flight.dump(
+                job.job_id,
+                reason="deadline_expired",
+                state=job.state.value,
+                trace=self.traces.to_json_dict(job.job_id),
+                attempts=job.attempts + 1,
+            )
+
+    def _backoff_delay(self, attempt: int, *, key: str) -> float:
+        """Capped exponential backoff with seed-derived jitter.
+
+        The jitter factor lives in [0.5, 1.0] and is drawn from an RNG
+        seeded on ``(backoff_seed, key, attempt)``: the same job retries
+        on the same schedule run-to-run (tests stay deterministic), while
+        different jobs -- e.g. a fleet's worth of requeued leases after a
+        partition -- spread out instead of retrying in lockstep.
+        """
+        base = min(
+            self.retry_backoff_base * (2.0 ** (attempt - 1)),
+            self.retry_backoff_cap,
+        )
+        rng = random.Random(f"{self.backoff_seed}:{key}:{attempt}")
+        return base * (0.5 + 0.5 * rng.random())
+
+    def _retry_after_hint(self) -> float:
+        """Seconds a 429'd client should wait, from observed queue latency."""
+        if self.queue_latency_jobs:
+            avg = self.queue_latency_total / self.queue_latency_jobs
+        else:
+            avg = 1.0
+        return max(0.5, min(30.0, avg))
 
     def _job_failed(self, job: Job, exc: Exception) -> Optional[float]:
         """Decide a failed dispatch's fate; returns a backoff delay to retry.
@@ -933,10 +1020,7 @@ class JobQueue:
             ):
                 self.retried += 1
                 self.metrics.inc("qed_job_retries_total")
-                delay = min(
-                    self.retry_backoff_base * (2.0 ** (job.attempts - 1)),
-                    self.retry_backoff_cap,
-                )
+                delay = self._backoff_delay(job.attempts, key=job.cache_key)
                 self.traces.add_event(
                     job.job_id,
                     "queue.retry",
@@ -987,6 +1071,153 @@ class JobQueue:
         self._wake.set()
 
     # ------------------------------------------------------------------
+    # Remote dispatch (the fleet coordinator's queue-side surface).  All
+    # four methods run on the loop, called from /fleet/* handlers or the
+    # coordinator's reaper task, and mirror the local dispatch paths
+    # exactly -- same spans, same counters, same completion code.
+
+    def fleet_lease_pop(self) -> Optional[Job]:
+        """Pop the next runnable job for a remote lease grant.
+
+        The remote twin of the scheduler's pop: skips stale heap entries,
+        expires dead-on-arrival deadlines, transitions the job to RUNNING
+        and opens its attempt span (remote batches re-root under it, like
+        worker-pool batches do locally).  Local workers and the fleet pull
+        from the same heap, so mixed deployments just work.
+        """
+        if self._draining:
+            return None
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self.jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                continue  # cancelled, or a stale re-priority entry
+            if job.deadline is not None and job.deadline.expired():
+                self._expire_queued(job)
+                continue
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            self.queue_latency_total += job.started_at - job.submitted_at
+            self.queue_latency_jobs += 1
+            now_mono = time.monotonic()
+            wait = max(0.0, now_mono - job._queued_mono)
+            self.metrics.observe("qed_queue_wait_seconds", wait)
+            self.traces.add_span(
+                job.job_id, "queue.wait", job._queued_mono, now_mono
+            )
+            job._attempt_span_id = self.traces.add_span(
+                job.job_id,
+                "queue.attempt",
+                now_mono,
+                None,
+                attempt=job.attempts + 1,
+                remote=True,
+            )
+            self._bump(job)
+            return job
+        return None
+
+    def _finish_terminal(self, job: Job) -> None:
+        """Completion bookkeeping shared by every remote terminal path."""
+        job.finished_at = time.time()
+        if self._inflight.get(job.cache_key) is job:
+            del self._inflight[job.cache_key]
+        self._retire(job)
+        self._bump(job)
+
+    def fleet_complete(self, job: Job, result: Dict[str, object]) -> None:
+        """Commit a fenced remote success through the local success path."""
+        self._finish_success(job, result)
+        self._finish_terminal(job)
+
+    def fleet_fail(self, job: Job, error: str) -> None:
+        """Fail a remote job on a deterministic entry error (no retry).
+
+        Mirrors the local policy: an exception *raised by* the entry
+        repeats on re-run, so retrying it remotely would waste a lease.
+        """
+        self.traces.close_span(
+            job.job_id, job._attempt_span_id, time.monotonic(),
+            outcome="error",
+        )
+        job.error = error
+        job.state = JobState.FAILED
+        self.failed += 1
+        self.metrics.inc("qed_jobs_failed_total")
+        self.flight.dump(
+            job.job_id,
+            reason="failed",
+            state=JobState.FAILED.value,
+            trace=self.traces.to_json_dict(job.job_id),
+            error=job.error,
+            attempts=job.attempts,
+        )
+        self._finish_terminal(job)
+
+    def fleet_requeue(self, job: Job, *, reason: str) -> bool:
+        """Hand a leased job back (lease expiry, dead worker, crash report).
+
+        Runs the same capped-backoff/quarantine machinery as a local pool
+        crash: up to ``max_retries`` jittered requeues, then the spec is
+        quarantined and the job FAILED.  Returns ``True`` when the job is
+        queued again (including the draining case, where it re-enters
+        QUEUED so the drain snapshot persists it for the restart).
+        """
+        if job.state is not JobState.RUNNING:
+            return False
+        self.traces.close_span(
+            job.job_id, job._attempt_span_id, time.monotonic(),
+            outcome=reason,
+        )
+        if self._draining:
+            job.state = JobState.QUEUED
+            job._queued_mono = time.monotonic()
+            self._bump(job)
+            return True
+        job.attempts += 1
+        if job.attempts <= self.max_retries and not job.cancel_requested:
+            self.retried += 1
+            self.metrics.inc("qed_job_retries_total")
+            delay = self._backoff_delay(job.attempts, key=job.cache_key)
+            self.traces.add_event(
+                job.job_id,
+                "queue.retry",
+                attempt=job.attempts,
+                backoff_seconds=delay,
+                error=reason,
+            )
+            job.state = JobState.QUEUED
+            job._queued_mono = time.monotonic()
+            self._bump(job)
+            asyncio.ensure_future(self._requeue_after(job, delay))
+            return True
+        self.quarantined[job.cache_key] = {
+            "reason": reason,
+            "error": f"remote attempts exhausted ({reason})",
+            "attempts": job.attempts,
+            "bug_id": job.spec.bug_id,
+            "at": time.time(),
+        }
+        self.metrics.inc("qed_quarantines_total")
+        self.traces.add_event(
+            job.job_id, "queue.quarantined", attempts=job.attempts
+        )
+        job.error = f"{reason} after {job.attempts} attempts"
+        job.state = JobState.FAILED
+        self.failed += 1
+        self.metrics.inc("qed_jobs_failed_total")
+        self.flight.dump(
+            job.job_id,
+            reason="quarantined",
+            state=JobState.FAILED.value,
+            trace=self.traces.to_json_dict(job.job_id),
+            error=job.error,
+            attempts=job.attempts,
+        )
+        self._finish_terminal(job)
+        return False
+
+    # ------------------------------------------------------------------
     async def drain(self) -> Dict[str, object]:
         """Graceful shutdown: stop dispatching, finish running solves,
         snapshot the rest.
@@ -1002,7 +1233,12 @@ class JobQueue:
         """
         self._draining = True
         self._wake.set()
-        while self._running:
+        # Remote leases count as in-flight work: their commits still land
+        # during the drain, and a worker that dies mid-drain has its lease
+        # expired by the reaper, which requeues the job into the snapshot.
+        while self._running or (
+            self.fleet is not None and self.fleet.has_active_leases()
+        ):
             await asyncio.sleep(0.02)
         state = self.queue_state()
         for job in list(self.jobs.values()):
@@ -1151,7 +1387,12 @@ class JobQueue:
             "deadline_expired": self.deadline_expired,
             "quarantined": len(self.quarantined),
             "quarantine_rejections": self.quarantine_rejections,
+            "queue_full_rejections": self.queue_full_rejections,
+            "max_queue_depth": self.max_queue_depth,
             "draining": self._draining,
+            "fleet": (
+                None if self.fleet is None else self.fleet.stats_dict()
+            ),
             "running": self._running,
             "queued": queued,
             "jobs_tracked": len(self.jobs),
@@ -1194,4 +1435,6 @@ class JobQueue:
                     self.metrics.set_gauge(
                         f"qed_result_cache_{field_name}", float(value)
                     )
+        if self.fleet is not None:
+            self.fleet.refresh_gauges()
         return self.metrics.render_prometheus()

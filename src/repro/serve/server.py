@@ -36,7 +36,28 @@ Endpoints
     Liveness + readiness probe: ``200`` with queue depth, pool liveness
     and cache-log writability when the service can take work, ``503``
     (with the same payload) while the worker pool is being rebuilt after
-    a crash, the cache log is unwritable, or the queue is draining.
+    a crash, the cache log is unwritable, the queue is draining, or a
+    fleet-only deployment (``workers=0``) has no live remote workers.
+    With a fleet attached the payload also carries live/suspect/dead
+    worker counts and outstanding leases.
+``POST /fleet/register|lease|heartbeat|complete|deregister``
+    The remote-worker protocol (:mod:`repro.serve.fleet`): pull jobs
+    under time-bounded, fence-epoch leases, heartbeat to renew them and
+    ship telemetry, commit with the fence token.  ``GET /fleet`` is the
+    coordinator's worker/lease table.  404 when no coordinator is
+    attached.
+``GET /cache/log?since=N[&max=M]``
+    Replication stream: a raw byte range of the append-only result-cache
+    log (latin-1 in JSON), which :class:`repro.serve.fleet.CacheFollower`
+    mirrors so a standby can replay and serve warm hits after primary
+    loss.
+
+Admission control (when configured) answers ``POST /jobs`` with **429 +
+Retry-After** instead of queueing without bound: the queue's
+``max_queue_depth`` caps backlog depth, and a per-client token bucket
+(:class:`repro.serve.fleet.AdmissionController`, identity from the
+``X-Client-Id`` header or the peer address) keeps one greedy client from
+starving the farm.
 
 :class:`LocalServer` runs the full stack (loop, queue, server) on a
 background thread -- the in-process deployment used by tests, the CLI's
@@ -47,6 +68,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
 import threading
 import time
@@ -55,8 +77,14 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.findings import DesignLintError
 from repro.serve.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.serve.fleet import AdmissionController, FleetCoordinator
 from repro.serve.keys import JobSpec
-from repro.serve.queue import JobQueue, QueueDraining, execute_job_spec
+from repro.serve.queue import (
+    JobQueue,
+    QueueDraining,
+    QueueFull,
+    execute_job_spec,
+)
 
 __all__ = ["QEDServer", "LocalServer"]
 
@@ -95,6 +123,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -113,10 +142,15 @@ class QEDServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.queue = queue
         self.host = host
         self.port = port
+        #: Per-client token buckets in front of POST /jobs; ``None``
+        #: disables the fairness layer (depth bounding stays with the
+        #: queue's own ``max_queue_depth``).
+        self.admission = admission
         self._server: Optional[asyncio.base_events.Server] = None
         self.requests_served = 0
         self.requests_rejected = 0
@@ -126,6 +160,8 @@ class QEDServer:
         """Start the queue (if idle) and begin accepting connections."""
         if self.queue._scheduler_task is None:
             await self.queue.start()
+        if self.queue.fleet is not None:
+            self.queue.fleet.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -136,6 +172,8 @@ class QEDServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.queue.fleet is not None:
+            await self.queue.fleet.stop()
         await self.queue.stop()
 
     async def drain(self, state_path: Optional[str] = None) -> dict:
@@ -168,13 +206,22 @@ class QEDServer:
     ) -> None:
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                method, path, headers, body = await self._read_request(reader)
             except _BadRequest as exc:
                 self.requests_rejected += 1
                 await self._respond(writer, 400, {"error": str(exc)})
                 return
+            client_id = headers.get("x-client-id")
+            if not client_id:
+                peer = writer.get_extra_info("peername")
+                client_id = peer[0] if isinstance(peer, tuple) else "unknown"
+            extra_headers: Optional[Dict[str, str]] = None
             try:
-                status, payload = await self._route(method, path, body)
+                result = await self._route(method, path, body, client_id)
+                if len(result) == 3:
+                    status, payload, extra_headers = result
+                else:
+                    status, payload = result
             except _BadRequest as exc:
                 self.requests_rejected += 1
                 status, payload = 400, {"error": str(exc)}
@@ -185,7 +232,7 @@ class QEDServer:
                     "error": f"{type(exc).__name__}: {exc}"
                 }
             self.requests_served += 1
-            await self._respond(writer, status, payload)
+            await self._respond(writer, status, payload, extra_headers)
         except (ConnectionError, asyncio.IncompleteReadError, OSError):
             pass  # client went away mid-exchange; nothing to answer
         finally:
@@ -197,7 +244,7 @@ class QEDServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Optional[dict]]:
+    ) -> Tuple[str, str, Dict[str, str], Optional[dict]]:
         try:
             request_line = await reader.readuntil(b"\r\n")
         except asyncio.LimitOverrunError:
@@ -249,10 +296,14 @@ class QEDServer:
                     raise _BadRequest("body is not valid JSON")
                 if not isinstance(body, dict):
                     raise _BadRequest("body must be a JSON object")
-        return method, path, body
+        return method, path, headers, body
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: object
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         # A str payload is pre-rendered plain text (the Prometheus
         # exposition of GET /metrics); everything else is a JSON body.
@@ -262,10 +313,15 @@ class QEDServer:
         else:
             data = json.dumps(payload).encode()
             content_type = "application/json"
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extras}"
             f"Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + data)
@@ -273,7 +329,7 @@ class QEDServer:
 
     # ------------------------------------------------------------------
     async def _route(
-        self, method: str, target: str, body: Optional[dict]
+        self, method: str, target: str, body: Optional[dict], client_id: str
     ) -> Tuple[int, object]:
         url = urlsplit(target)
         segments = [s for s in url.path.split("/") if s]
@@ -285,12 +341,16 @@ class QEDServer:
             return 200, self._stats()
         if segments == ["metrics"] and method == "GET":
             return 200, self.queue.render_metrics()
+        if segments and segments[0] == "fleet":
+            return await self._fleet(method, segments, body)
+        if segments == ["cache", "log"] and method == "GET":
+            return self._cache_log(query)
         if segments == ["jobs"]:
             if method == "GET":
                 return 200, {"jobs": self.queue.jobs_summary()}
             if method != "POST":
                 return 405, {"error": "POST /jobs or GET /jobs"}
-            return await self._submit(body or {})
+            return await self._submit(body or {}, client_id)
         if (
             len(segments) == 3
             and segments[0] == "jobs"
@@ -317,7 +377,68 @@ class QEDServer:
             return self._get_result(segments[1])
         return 404, {"error": f"no route for {method} {url.path}"}
 
-    async def _submit(self, body: dict) -> Tuple[int, dict]:
+    async def _fleet(
+        self, method: str, segments: list, body: Optional[dict]
+    ) -> Tuple[int, dict]:
+        """The remote-worker protocol: dispatch to the coordinator."""
+        fleet = self.queue.fleet
+        if fleet is None:
+            return 404, {"error": "fleet mode is not enabled"}
+        if segments == ["fleet"]:
+            if method != "GET":
+                return 405, {"error": "GET /fleet"}
+            return 200, {"fleet": fleet.stats_dict()}
+        handlers = {
+            "register": fleet.register,
+            "lease": fleet.lease,
+            "heartbeat": fleet.heartbeat,
+            "complete": fleet.complete,
+            "deregister": fleet.deregister,
+        }
+        if len(segments) != 2 or segments[1] not in handlers:
+            return 404, {"error": f"no fleet route {'/'.join(segments)!r}"}
+        if method != "POST":
+            return 405, {"error": f"POST /fleet/{segments[1]}"}
+        try:
+            return 200, handlers[segments[1]](body or {})
+        except ValueError as exc:
+            raise _BadRequest(str(exc))
+
+    def _cache_log(self, query: Dict[str, str]) -> Tuple[int, dict]:
+        """``GET /cache/log?since=N``: replication byte-stream chunk."""
+        cache = self.queue.cache
+        if cache is None or cache.directory is None:
+            return 404, {"error": "no persistent cache log to replicate"}
+        try:
+            since = int(query.get("since", 0))
+            max_bytes = min(int(query.get("max", 1 << 20)), 4 << 20)
+            chunk, size = cache.read_log(since=since, max_bytes=max_bytes)
+        except ValueError as exc:
+            raise _BadRequest(str(exc))
+        start = min(since, size)
+        return 200, {
+            "since": start,
+            "end": start + len(chunk),
+            "size": size,
+            "data": chunk.decode("latin-1"),
+        }
+
+    async def _submit(self, body: dict, client_id: str) -> Tuple[int, object]:
+        if self.admission is not None:
+            retry_after = self.admission.admit(client_id)
+            if retry_after is not None:
+                self.requests_rejected += 1
+                self.queue.metrics.inc(
+                    "qed_admission_rejections_total", reason="client_rate"
+                )
+                return (
+                    429,
+                    {
+                        "error": "client rate limit exceeded",
+                        "retry_after": retry_after,
+                    },
+                    {"Retry-After": str(max(1, math.ceil(retry_after)))},
+                )
         try:
             if "spec" in body:
                 if not isinstance(body["spec"], dict):
@@ -378,6 +499,13 @@ class QEDServer:
         except QueueDraining as exc:
             self.requests_rejected += 1
             return 503, {"error": str(exc), "draining": True}
+        except QueueFull as exc:
+            self.requests_rejected += 1
+            return (
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                {"Retry-After": str(max(1, math.ceil(exc.retry_after)))},
+            )
         # The lint/resolve spans happen before the job exists, so they are
         # captured here and recorded once its trace entry is open.
         self.queue.traces.add_span(job.job_id, "serve.lint", lint_start, lint_end)
@@ -455,10 +583,17 @@ class QEDServer:
         """
         stats = self.queue.stats_dict()
         cache_writable = self.queue.cache is None or self.queue.cache.writable()
+        fleet = self.queue.fleet
+        # Fleet-only deployments (workers=0) have no local executors; the
+        # probe stays 503 until at least one remote worker is live.
+        no_executors = self.queue.workers == 0 and (
+            fleet is None or fleet.live_workers() == 0
+        )
         ready = (
             not stats["pool_broken"]
             and not stats["draining"]
             and cache_writable
+            and not no_executors
         )
         payload = {
             "ok": ready,
@@ -467,7 +602,16 @@ class QEDServer:
             "pool_broken": stats["pool_broken"],
             "draining": stats["draining"],
             "cache_writable": cache_writable,
+            "no_executors": no_executors,
         }
+        if fleet is not None:
+            counts = fleet.worker_counts()
+            payload["fleet"] = {
+                "live": counts["live"],
+                "suspect": counts["suspect"],
+                "dead": counts["dead"],
+                "leases_outstanding": len(fleet._leases),
+            }
         return (200 if ready else 503), payload
 
     def _get_result(self, key: str) -> Tuple[int, dict]:
@@ -488,6 +632,11 @@ class QEDServer:
             "http": {
                 "requests_served": self.requests_served,
                 "requests_rejected": self.requests_rejected,
+                "admission": (
+                    self.admission.stats_dict()
+                    if self.admission is not None
+                    else None
+                ),
             },
         }
 
@@ -513,6 +662,9 @@ class LocalServer:
         host: str = "127.0.0.1",
         port: int = 0,
         state_path: Optional[str] = None,
+        fleet: bool = False,
+        fleet_kwargs: Optional[dict] = None,
+        admission: Optional[dict] = None,
         **queue_kwargs,
     ) -> None:
         self.cache = cache if cache is not None else (
@@ -527,6 +679,12 @@ class LocalServer:
         )
         self._host = host
         self._port = port
+        #: ``fleet=True`` attaches a :class:`FleetCoordinator` so remote
+        #: workers (``serve_qed.py worker``) can pull jobs; ``admission``
+        #: is the kwargs dict for an :class:`AdmissionController`.
+        self._fleet = fleet
+        self._fleet_kwargs = dict(fleet_kwargs or {})
+        self._admission_kwargs = admission
         #: Where :meth:`drain` persists queued work, and where start-up
         #: looks for a previous drain's snapshot to resume (the file is
         #: consumed -- deleted once its jobs are resubmitted).
@@ -559,7 +717,16 @@ class LocalServer:
         asyncio.set_event_loop(loop)
         self._loop = loop
         self.queue = JobQueue(**self._queue_args)
-        self.server = QEDServer(self.queue, host=self._host, port=self._port)
+        if self._fleet:
+            FleetCoordinator(self.queue, **self._fleet_kwargs)
+        admission = (
+            AdmissionController(**self._admission_kwargs)
+            if self._admission_kwargs is not None
+            else None
+        )
+        self.server = QEDServer(
+            self.queue, host=self._host, port=self._port, admission=admission
+        )
         try:
             loop.run_until_complete(self.server.start())
             self._restore_persisted_state()
